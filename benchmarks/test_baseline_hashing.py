@@ -1,0 +1,87 @@
+"""Baseline comparison: dynamic subtree partitioning vs static hashing.
+
+Paper §2.1/§5: hash-based distribution (PVFSv2, SkyFS, ...) achieves
+perfect static balance but "locality is completely lost"; dynamic subtree
+partitioning can get balance *and* locality.  This benchmark runs the
+5-client compile job under (a) one MDS, (b) the Adaptable Mantle balancer,
+and (c) static hash partitioning of every source directory over the ranks.
+"""
+
+from repro.cluster import SimulatedCluster
+from repro.core.policies import adaptable_policy
+from repro.workloads import CompileWorkload
+
+from harness import COMPILE_SCALE, compile_config, write_report
+
+CLIENTS = 5
+NUM_MDS = 3
+
+
+def run_three_ways():
+    def workload():
+        return CompileWorkload(num_clients=CLIENTS, scale=COMPILE_SCALE,
+                               seed=11)
+
+    runs = {}
+    runs["1 MDS"] = SimulatedCluster(
+        compile_config(num_mds=1, num_clients=CLIENTS)
+    ).run_workload(workload())
+
+    runs["subtree (Adaptable)"] = SimulatedCluster(
+        compile_config(num_mds=NUM_MDS, num_clients=CLIENTS),
+        policy=adaptable_policy(),
+    ).run_workload(workload())
+
+    # Static hashing: pre-build each client's directory skeleton, then pin
+    # every leaf source directory by hash before the clients start.
+    cluster = SimulatedCluster(
+        compile_config(num_mds=NUM_MDS, num_clients=CLIENTS))
+    wl = workload()
+    wl.prepare(cluster.namespace)
+    for client in range(CLIENTS):
+        root = f"/src/client{client}"
+        cluster.namespace.mkdirs(root)
+        for rel, _files, _weight in wl.tree_dirs():
+            cluster.namespace.mkdirs(f"{root}/{rel}")
+    cluster.hash_partition(depth=4)  # /src/clientN/top/dXX
+    runs["static hashing"] = cluster.run_workload(wl)
+    return runs
+
+
+def test_baseline_hashing(benchmark):
+    runs = benchmark.pedantic(run_three_ways, rounds=1, iterations=1)
+
+    lines = ["Baseline: subtree partitioning vs static hashing "
+             f"({CLIENTS} clients compiling, {NUM_MDS} MDS)",
+             f"{'setup':<22} {'makespan':>9} {'fwd+prefix':>11} "
+             f"{'balance-cv':>11}"]
+    import numpy as np
+
+    stats = {}
+    for name, report in runs.items():
+        served = [m.ops_served for m in report.metrics.per_mds.values()]
+        cv = (float(np.std(served) / np.mean(served))
+              if len(served) > 1 else 0.0)
+        crossings = (report.total_forwards
+                     + report.metrics.total_prefix_traversals)
+        stats[name] = {"makespan": report.makespan, "cv": cv,
+                       "crossings": crossings}
+        lines.append(f"{name:<22} {report.makespan:>8.1f}s "
+                     f"{crossings:>11} {cv:>11.3f}")
+
+    subtree = stats["subtree (Adaptable)"]
+    hashed = stats["static hashing"]
+    single = stats["1 MDS"]
+
+    # Hashing balances at least as evenly as the subtree balancer...
+    assert hashed["cv"] <= subtree["cv"] + 0.15
+    # ...but loses locality: far more cross-rank traffic...
+    assert hashed["crossings"] > 1.5 * max(1, subtree["crossings"])
+    # ...and the subtree balancer is at least as fast.
+    assert subtree["makespan"] <= hashed["makespan"] * 1.02
+    # Both distributed setups beat the single saturated MDS at 5 clients.
+    assert subtree["makespan"] < single["makespan"]
+
+    lines.append("shape: hashing balances but destroys locality; subtree "
+                 "partitioning gets both OK")
+    write_report("baseline_hashing", lines)

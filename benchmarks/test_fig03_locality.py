@@ -1,0 +1,134 @@
+"""Figure 3: locality vs. distribution for the compile job.
+
+Paper setups (one client compiling, footnote 2): "high locality" keeps all metadata on
+one MDS; "spread evenly" untars with 1 MDS and compiles with 3 (hot
+metadata correctly distributed); "spread unevenly" untars AND compiles with
+3 MDS (metadata incorrectly distributed, locality lost).
+
+Fig 3a: total request count grows when metadata is distributed.
+Fig 3b: path traversals end in local hits when spread evenly, but in
+forwards when spread unevenly.  Keeping everything on one MDS was 18-19%
+faster in the paper.
+"""
+
+from repro.cluster import SimulatedCluster
+from repro.workloads import CompileWorkload
+
+from harness import COMPILE_SCALE, compile_config, write_report
+
+CLIENTS = 1
+NUM_MDS = 3
+
+
+def make_workload():
+    return CompileWorkload(num_clients=CLIENTS, scale=COMPILE_SCALE, seed=11)
+
+
+def untar_watcher(cluster, workload, action):
+    """Run *action(cluster)* once every client finished its untar phase."""
+    total_files = sum(files for _d, files, _w in workload.tree_dirs())
+    fired = [False]
+
+    def check():
+        if fired[0]:
+            return
+        for client in range(CLIENTS):
+            root = f"/src/client{client}"
+            try:
+                d = cluster.namespace.resolve_dir(root)
+            except FileNotFoundError:
+                return
+            count = sum(sub.entry_count() for sub in d.walk())
+            if count < total_files:
+                return
+        fired[0] = True
+        action(cluster)
+
+    cluster.engine.every(0.5, check)
+
+
+def run_setups():
+    runs = {}
+
+    # (a) High locality: everything on one MDS.
+    cluster = SimulatedCluster(compile_config(num_mds=1,
+                                              num_clients=CLIENTS))
+    runs["high locality"] = cluster.run_workload(make_workload())
+
+    # (b) Spread evenly: untar on 1 MDS, then the hot top-level source
+    # directories are distributed round-robin over the 3 ranks (hot
+    # metadata correctly distributed).
+    cluster = SimulatedCluster(compile_config(num_mds=NUM_MDS,
+                                              num_clients=CLIENTS))
+    workload = make_workload()
+
+    def pin_top_dirs(c):
+        for client in range(CLIENTS):
+            root = c.namespace.resolve_dir(f"/src/client{client}")
+            for index, name in enumerate(sorted(root.subdirs)):
+                c.pin(f"/src/client{client}/{name}", index % NUM_MDS)
+
+    untar_watcher(cluster, workload, pin_top_dirs)
+    runs["spread evenly"] = cluster.run_workload(workload)
+
+    # (c) Spread unevenly: untar AND compile with 3 MDS under the original
+    # balancer (the paper's footnote 2 setup) -- metadata gets distributed
+    # during the create-heavy untar phase and keeps being migrated, so the
+    # workload loses locality and clients chase stale maps.
+    from repro.core.policies import original_policy
+
+    cluster = SimulatedCluster(compile_config(num_mds=NUM_MDS,
+                                              num_clients=CLIENTS),
+                               policy=original_policy())
+    runs["spread unevenly"] = cluster.run_workload(make_workload())
+    return runs
+
+
+def test_fig03_locality(benchmark):
+    runs = benchmark.pedantic(run_setups, rounds=1, iterations=1)
+
+    lines = ["Figure 3: locality vs distribution, 1 client compiling",
+             "",
+             f"{'setup':<18} {'runtime':>8} {'requests':>9} {'hits':>8} "
+             f"{'forwards':>9}"]
+    stats = {}
+    for name, report in runs.items():
+        # Fig 3b counts path traversals ending in forwards: both client
+        # requests forwarded between ranks and remote prefix traversals.
+        forwards = (report.total_forwards
+                    + report.metrics.total_prefix_traversals)
+        requests = report.total_ops + forwards
+        stats[name] = {
+            "runtime": report.makespan,
+            "requests": requests,
+            "hits": report.metrics.total_hits,
+            "forwards": forwards,
+        }
+        lines.append(f"{name:<18} {report.makespan:>7.1f}s "
+                     f"{requests:>9} {report.metrics.total_hits:>8} "
+                     f"{forwards:>9}")
+
+    local = stats["high locality"]
+    evenly = stats["spread evenly"]
+    unevenly = stats["spread unevenly"]
+
+    # Fig 3a: the number of requests increases when metadata is
+    # distributed, most with bad distribution.
+    assert local["requests"] <= evenly["requests"] <= unevenly["requests"]
+    # Fig 3b: spreading unevenly ends far more traversals in forwards
+    # (the paper's evenly case is near zero; ours pays a one-off forward
+    # per directory while clients re-learn the post-untar distribution).
+    assert unevenly["forwards"] > 1.5 * max(1, evenly["forwards"])
+    assert unevenly["forwards"] > 100
+    assert local["forwards"] == 0
+    # Locality wins on runtime (paper: 18-19% speedup over the spreads).
+    assert local["runtime"] <= evenly["runtime"] * 1.02
+    assert local["runtime"] < unevenly["runtime"]
+    assert evenly["runtime"] < unevenly["runtime"]
+
+    slowdown = unevenly["runtime"] / local["runtime"] - 1
+    lines.append("")
+    lines.append(f"uneven spread is {slowdown:+.1%} slower than high "
+                 "locality; forwards blow up only when hot metadata is "
+                 "distributed incorrectly OK")
+    write_report("fig03_locality", lines)

@@ -1,0 +1,66 @@
+"""Figure 5: single-MDS client scaling.
+
+Paper: "For the create heavy workload, the throughput stops improving and
+the latency continues to increase with 5, 6, or 7 clients... This indicates
+that a single MDS can handle up to 4 clients without being overloaded."
+Also: latency/throughput standard deviation grows with 3+ clients.
+"""
+
+import numpy as np
+
+from repro.cluster import run_experiment
+from repro.workloads import CreateWorkload
+
+from harness import base_config, write_report
+
+FILES = 3000  # per client; Fig 5 only needs steady-state rates
+SEEDS = (7, 8, 9)
+
+
+def run_scaling():
+    rows = []
+    for clients in range(1, 8):
+        tputs, lats = [], []
+        for seed in SEEDS:
+            config = base_config(num_mds=1, num_clients=clients, seed=seed,
+                                 dir_split_size=10**9)
+            report = run_experiment(
+                config,
+                CreateWorkload(num_clients=clients, files_per_client=FILES),
+            )
+            tputs.append(report.throughput)
+            lats.append(report.latency_summary().mean)
+        rows.append({
+            "clients": clients,
+            "tput": float(np.mean(tputs)),
+            "tput_std": float(np.std(tputs)),
+            "lat_ms": float(np.mean(lats)) * 1000,
+            "lat_std_ms": float(np.std(lats)) * 1000,
+        })
+    return rows
+
+
+def test_fig05_single_mds_scaling(benchmark):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+
+    lines = ["Figure 5: single-MDS scaling (create workload)",
+             f"{'clients':>8} {'req/s':>8} {'+-':>6} {'lat ms':>8} {'+-':>6}"]
+    for row in rows:
+        lines.append(f"{row['clients']:>8} {row['tput']:>8.0f} "
+                     f"{row['tput_std']:>6.0f} {row['lat_ms']:>8.3f} "
+                     f"{row['lat_std_ms']:>6.3f}")
+    by_clients = {row["clients"]: row for row in rows}
+
+    # Throughput stops improving with 5, 6, 7 clients...
+    plateau = by_clients[5]["tput"]
+    assert by_clients[6]["tput"] < plateau * 1.05
+    assert by_clients[7]["tput"] < plateau * 1.05
+    # ...while latency continues to increase.
+    assert (by_clients[5]["lat_ms"] < by_clients[6]["lat_ms"]
+            < by_clients[7]["lat_ms"])
+    # Throughput grows healthily while under capacity.
+    assert by_clients[2]["tput"] > by_clients[1]["tput"] * 1.5
+    # Latency at 7 clients is far above the uncontended latency.
+    assert by_clients[7]["lat_ms"] > by_clients[1]["lat_ms"] * 1.5
+    lines.append("shape: plateau from ~4-5 clients, latency keeps rising OK")
+    write_report("fig05_single_mds_scaling", lines)

@@ -1,0 +1,104 @@
+"""Figure 7 + the §4.1 session table.
+
+Paper: 4 clients creating files in the same directory.  "Greedy Spill sheds
+half its metadata immediately while Fill & Spill sheds part of its metadata
+when overloaded"; "spilling load unevenly with Fill & Spill has the highest
+throughput, which can have up to 9% speedup over 1 MDS"; session counts
+grow with distribution (157 / 323 / 458 / 788 / 936 in the paper's runs).
+"""
+
+from repro.cluster import run_experiment
+from repro.core.policies import (
+    fill_spill_policy,
+    greedy_spill_even_policy,
+    greedy_spill_policy,
+)
+from repro.workloads import CreateWorkload
+
+from harness import (
+    DIR_SPLIT_SIZE,
+    FILES_PER_CLIENT,
+    base_config,
+    sparkline,
+    write_report,
+)
+
+CLIENTS = 4
+#: Calibrated "fill" level: our 3-client CPU utilisation (§4.2 used the
+#: paper's measured 48%; ours measures ~80% -- same methodology).
+FILL_CPU_THRESHOLD = 80.0
+
+
+def run_configs():
+    workload = lambda: CreateWorkload(num_clients=CLIENTS,
+                                      files_per_client=FILES_PER_CLIENT,
+                                      shared_dir=True)
+    runs = {}
+    runs["1 MDS"] = run_experiment(
+        base_config(num_mds=1, num_clients=CLIENTS), workload())
+    runs["greedy spill (4 MDS)"] = run_experiment(
+        base_config(num_mds=4, num_clients=CLIENTS), workload(),
+        policy=greedy_spill_policy())
+    runs["greedy spill even (4 MDS)"] = run_experiment(
+        base_config(num_mds=4, num_clients=CLIENTS), workload(),
+        policy=greedy_spill_even_policy())
+    runs["fill & spill (4 MDS)"] = run_experiment(
+        base_config(num_mds=4, num_clients=CLIENTS), workload(),
+        policy=fill_spill_policy(cpu_threshold=FILL_CPU_THRESHOLD))
+    return runs
+
+
+def first_export_time(report):
+    times = [d.time for d in report.decisions if d.exports]
+    return min(times) if times else float("inf")
+
+
+def test_fig07_spill_timelines(benchmark):
+    runs = benchmark.pedantic(run_configs, rounds=1, iterations=1)
+
+    lines = [f"Figure 7: 4 clients creating {FILES_PER_CLIENT} files each "
+             f"in one shared directory (split at {DIR_SPLIT_SIZE})", ""]
+    for name, report in runs.items():
+        lines.append(f"{name}: makespan={report.makespan:.1f}s "
+                     f"tput={report.throughput:.0f}/s "
+                     f"migrations={report.total_migrations} "
+                     f"session_flushes={report.total_session_flushes} "
+                     f"sessions={report.sessions_opened}")
+        horizon = report.makespan
+        for rank in sorted(report.metrics.per_mds):
+            series = report.metrics.timeline.series(rank, until=horizon)
+            lines.append(f"  mds{rank} |{sparkline(series)}|")
+        lines.append("")
+
+    base = runs["1 MDS"]
+    greedy = runs["greedy spill (4 MDS)"]
+    greedy_even = runs["greedy spill even (4 MDS)"]
+    fill = runs["fill & spill (4 MDS)"]
+
+    # Fill & Spill beats 1 MDS (paper: up to 9% speedup) and every greedy
+    # 4-MDS variant.
+    assert fill.makespan < base.makespan
+    assert fill.makespan < greedy.makespan
+    assert fill.makespan < greedy_even.makespan
+    # Greedy spill sheds immediately (first heartbeat); Fill & Spill waits
+    # for sustained overload (3 straight overloaded iterations).
+    assert first_export_time(greedy) < first_export_time(fill)
+    # Fill & Spill uses only a subset of the 4 available ranks.
+    fill_active = sum(1 for m in fill.metrics.per_mds.values()
+                      if m.ops_served > 0)
+    assert fill_active == 2
+    # Greedy even splits more evenly than greedy: compare the served-ops
+    # imbalance across active ranks.
+    def spread_cv(report):
+        served = [m.ops_served for m in report.metrics.per_mds.values()]
+        import numpy as np
+        return float(np.std(served) / np.mean(served))
+    assert spread_cv(greedy_even) < spread_cv(greedy)
+    # Session flushes grow with distribution (§4.1 session counts).
+    assert greedy.total_session_flushes > 0
+    assert (greedy_even.total_session_flushes
+            >= greedy.total_session_flushes)
+
+    lines.append("shape: fill&spill fastest, greedy immediate vs fill&spill"
+                 " delayed, sessions grow with distribution OK")
+    write_report("fig07_spill_timelines", lines)

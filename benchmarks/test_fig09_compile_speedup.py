@@ -1,0 +1,62 @@
+"""Figure 9: compile workload under the Adaptable balancer.
+
+Paper: "3 clients do not saturate the system enough to make distribution
+worthwhile and 5 clients with 3 MDS nodes is just as efficient as 4 or 5
+MDS nodes."  The balancer "immediately moves the large subtrees, in this
+case the root directory of each client, and then stops migrating".
+"""
+
+from repro.cluster import run_experiment
+from repro.core.policies import adaptable_policy
+from repro.workloads import CompileWorkload
+
+from harness import COMPILE_SCALE, compile_config, speedup_pct, write_report
+
+
+def run_grid():
+    grid = {}
+    for clients, mds_counts in ((3, (1, 3, 5)), (5, (1, 2, 3, 4, 5))):
+        for num_mds in mds_counts:
+            policy = adaptable_policy() if num_mds > 1 else None
+            report = run_experiment(
+                compile_config(num_mds=num_mds, num_clients=clients),
+                CompileWorkload(num_clients=clients, scale=COMPILE_SCALE,
+                                seed=11),
+                policy=policy,
+            )
+            grid[(clients, num_mds)] = report
+    return grid
+
+
+def test_fig09_compile_speedup(benchmark):
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    lines = ["Figure 9: compile speedup vs 1 MDS (Adaptable balancer)",
+             f"{'clients':>8} {'MDS':>4} {'makespan':>9} {'speedup':>9} "
+             f"{'migrations':>11}"]
+    speedups = {}
+    for (clients, num_mds), report in sorted(grid.items()):
+        base = grid[(clients, 1)].makespan
+        pct = speedup_pct(base, report.makespan)
+        speedups[(clients, num_mds)] = pct
+        lines.append(f"{clients:>8} {num_mds:>4} {report.makespan:>8.1f}s "
+                     f"{pct:>+8.1f}% {report.total_migrations:>11}")
+
+    # 3 clients: distribution is not worthwhile (no meaningful speedup).
+    assert speedups[(3, 3)] < 5.0
+    assert speedups[(3, 5)] < 5.0
+    # 5 clients: distribution clearly helps...
+    assert speedups[(5, 3)] > 5.0
+    # ...and 3 MDS is just as efficient as 4 or 5.
+    assert abs(speedups[(5, 4)] - speedups[(5, 3)]) < 5.0
+    assert abs(speedups[(5, 5)] - speedups[(5, 3)]) < 5.0
+    # The balancer moves the big per-client subtrees and then settles: a
+    # handful of migrations, not continuous churn.
+    assert 1 <= grid[(5, 3)].total_migrations <= 3 * 5
+    # Load actually spread: rank 0 no longer serves everything.
+    served = grid[(5, 5)].per_mds_ops()
+    assert sum(1 for ops in served.values() if ops > 0) >= 4
+
+    lines.append("shape: 3 clients gain nothing, 5 clients gain ~10% and "
+                 "3 MDS ~= 4 ~= 5 OK")
+    write_report("fig09_compile_speedup", lines)

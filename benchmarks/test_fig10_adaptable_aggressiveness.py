@@ -1,0 +1,96 @@
+"""Figure 10: how aggressive should the Adaptable balancer be?
+
+Paper (5 clients compiling, 5 MDS ranks): the conservative balancer keeps
+metadata on one MDS until a sustained spike forces distribution; the
+aggressive balancer (Listing 4) distributes immediately and absorbs the
+link-phase flash crowd; the too-aggressive balancer chases perfect balance,
+fragments the namespace, multiplies forwards (the paper measured 60x) and
+makes both runtime and stability worse.  The 1-MDS run's throughput drops
+when clients shift to linking (a readdir flash crowd).
+"""
+
+from repro.cluster import run_experiment
+from repro.core.policies import (
+    adaptable_conservative_policy,
+    adaptable_policy,
+    adaptable_too_aggressive_policy,
+)
+from repro.workloads import CompileWorkload
+
+from harness import COMPILE_SCALE, compile_config, sparkline, write_report
+
+CLIENTS = 5
+NUM_MDS = 5
+
+
+def run_variants():
+    def workload():
+        return CompileWorkload(num_clients=CLIENTS, scale=COMPILE_SCALE,
+                               seed=11)
+
+    runs = {}
+    runs["1 MDS"] = run_experiment(
+        compile_config(num_mds=1, num_clients=CLIENTS), workload())
+    runs["conservative"] = run_experiment(
+        compile_config(num_mds=NUM_MDS, num_clients=CLIENTS), workload(),
+        policy=adaptable_conservative_policy())
+    runs["aggressive"] = run_experiment(
+        compile_config(num_mds=NUM_MDS, num_clients=CLIENTS), workload(),
+        policy=adaptable_policy())
+    runs["too aggressive"] = run_experiment(
+        compile_config(num_mds=NUM_MDS, num_clients=CLIENTS), workload(),
+        policy=adaptable_too_aggressive_policy())
+    return runs
+
+
+def first_export_time(report):
+    times = [d.time for d in report.decisions if d.exports]
+    return min(times) if times else float("inf")
+
+
+def test_fig10_adaptable_aggressiveness(benchmark):
+    runs = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+
+    lines = [f"Figure 10: {CLIENTS} clients compiling, {NUM_MDS} MDS",
+             ""]
+    for name, report in runs.items():
+        forwards = report.total_forwards
+        lines.append(f"{name}: makespan={report.makespan:.1f}s "
+                     f"migrations={report.total_migrations} "
+                     f"forwards={forwards} "
+                     f"first_export={first_export_time(report):.1f}s")
+        for rank in sorted(report.metrics.per_mds):
+            series = report.metrics.timeline.series(rank,
+                                                    until=report.makespan)
+            lines.append(f"  mds{rank} |{sparkline(series)}|")
+        lines.append("")
+
+    single = runs["1 MDS"]
+    conservative = runs["conservative"]
+    aggressive = runs["aggressive"]
+    too_aggressive = runs["too aggressive"]
+
+    # The conservative balancer (WRstate hysteresis) distributes later
+    # than the aggressive one.
+    assert first_export_time(conservative) > first_export_time(aggressive)
+    # Too-aggressive thrashes: an order of magnitude more migrations and
+    # multiplied forwards (paper: 60x as many forwards as aggressive).
+    assert (too_aggressive.total_migrations
+            >= 5 * aggressive.total_migrations)
+    assert too_aggressive.total_forwards >= 2 * aggressive.total_forwards
+    # ...and is the slowest distributed variant.
+    assert too_aggressive.makespan > aggressive.makespan
+    assert too_aggressive.makespan > conservative.makespan
+    # Distributing early absorbs the flash crowd: aggressive beats 1 MDS.
+    assert aggressive.makespan < single.makespan
+    # The 1-MDS run dips when clients shift to linking: its last-quarter
+    # throughput falls below its mid-run throughput.
+    series = single.metrics.timeline.total_series(until=single.makespan)
+    n = len(series)
+    mid = series[n // 4: n // 2].mean()
+    tail = series[3 * n // 4:].mean()
+    assert tail < mid, (mid, tail)
+
+    lines.append("shape: conservative waits, aggressive absorbs the flash "
+                 "crowd, too-aggressive thrashes and loses OK")
+    write_report("fig10_adaptable_aggressiveness", lines)

@@ -1,0 +1,79 @@
+"""Scalability analysis (paper §4.4).
+
+Paper: "our MDS cluster is small, but today's production systems use
+metadata services with a small number of nodes (often less than 5).  Our
+balancers are robust until 20 nodes, at which point there is increased
+variability in client performance."
+
+This benchmark scales the MDS cluster from 2 to 20 ranks under a
+many-client create storm (separate directories, so there is real
+parallelism to harvest) with the Adaptable balancer, and measures
+throughput and per-client runtime variability.
+"""
+
+from repro.cluster import run_experiment
+from repro.core.policies import adaptable_policy
+from repro.metrics.stats import coefficient_of_variation
+from repro.workloads import CreateWorkload
+
+from harness import SCALE, base_config, write_report
+
+CLIENTS = 20
+FILES = max(2000, int(20_000 * SCALE))
+RANKS = (2, 5, 10, 20)
+
+
+def run_scaling():
+    rows = {}
+    for num_mds in RANKS:
+        config = base_config(num_mds=num_mds, num_clients=CLIENTS,
+                             dir_split_size=10**9)
+        report = run_experiment(
+            config,
+            CreateWorkload(num_clients=CLIENTS, files_per_client=FILES),
+            policy=adaptable_policy(),
+        )
+        rows[num_mds] = report
+    return rows
+
+
+def test_scalability(benchmark):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+
+    lines = [f"Scalability (§4.4): {CLIENTS} create clients, separate "
+             f"dirs, Adaptable balancer",
+             f"{'MDS':>4} {'makespan':>9} {'tput':>8} {'active':>7} "
+             f"{'client-cv':>10} {'migrations':>11}"]
+    stats = {}
+    for num_mds, report in sorted(rows.items()):
+        runtimes = list(report.client_runtimes.values())
+        cv = coefficient_of_variation(runtimes)
+        active = sum(1 for ops in report.per_mds_ops().values() if ops > 0)
+        stats[num_mds] = {"makespan": report.makespan, "cv": cv,
+                          "active": active}
+        lines.append(f"{num_mds:>4} {report.makespan:>8.1f}s "
+                     f"{report.throughput:>8.0f} {active:>7} "
+                     f"{cv:>10.4f} {report.total_migrations:>11}")
+
+    # Adding ranks helps until the job becomes client-bound (20 clients
+    # saturate ~5 of our ranks); beyond that the balancer must stay
+    # *robust* -- not faster, but not collapsing either (paper: "robust
+    # until 20 nodes").
+    assert stats[5]["makespan"] < stats[2]["makespan"]
+    assert stats[10]["makespan"] <= stats[5]["makespan"] * 1.35
+    assert stats[20]["makespan"] <= stats[5]["makespan"] * 1.35
+    # The balancer actually uses a large cluster.
+    assert stats[10]["active"] >= 5
+    assert stats[20]["active"] >= 8
+    # Paper: at 20 ranks client-performance variability grows.  Our
+    # simulator stays well-behaved at 20 ranks (client-runtime CV remains
+    # ~0.2% at every size) -- it does not model the n-way communication
+    # and memory-pressure pathologies the paper suspects, so we assert
+    # only that variability does not collapse suspiciously (a measurement
+    # bug) and record the deviation in EXPERIMENTS.md.
+    small_cv = min(stats[2]["cv"], stats[5]["cv"])
+    assert stats[20]["cv"] >= small_cv * 0.5
+
+    lines.append("shape: speedup until client-bound (~5 ranks), robust "
+                 "through 20 ranks OK")
+    write_report("scalability", lines)

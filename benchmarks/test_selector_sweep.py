@@ -1,0 +1,81 @@
+"""Selector-accuracy sweep (extends the §2.2.3 analysis).
+
+The paper argues the original balancer's single heuristic (biggest-first)
+"struggles with simpler and smaller namespaces because of the noise in the
+load measurements", and that racing a family of dirfrag selectors gets
+closer to the target.  This micro-benchmark quantifies that: across many
+randomly drawn dirfrag-load vectors and target fractions, how far from the
+target does each strategy land, and how often does the racing approach
+beat plain biggest-first?
+"""
+
+import numpy as np
+
+from repro.core.selectors import choose_best, get_selector
+
+from harness import write_report
+
+FAMILY = ("big_first", "small_first", "big_small", "half")
+TRIALS = 2000
+
+
+def run_sweep():
+    rng = np.random.default_rng(7)
+    results = {name: [] for name in FAMILY}
+    race_distance = []
+    race_wins_over_big_first = 0
+    winner_counts = {name: 0 for name in FAMILY}
+
+    for _ in range(TRIALS):
+        count = int(rng.integers(4, 17))
+        loads = rng.lognormal(mean=2.5, sigma=0.4, size=count)
+        units = [(i, float(load)) for i, load in enumerate(loads)]
+        target = float(loads.sum()) * float(rng.uniform(0.2, 0.8))
+
+        per_selector = {}
+        for name in FAMILY:
+            chosen = get_selector(name)(units, target)
+            shipped = sum(load for _u, load in chosen)
+            distance = abs(target - shipped) / target
+            per_selector[name] = distance
+            results[name].append(distance)
+
+        outcome = choose_best(FAMILY, units, target)
+        distance = outcome.distance / target
+        race_distance.append(distance)
+        winner_counts[outcome.name] += 1
+        if distance < per_selector["big_first"] - 1e-12:
+            race_wins_over_big_first += 1
+
+    return results, race_distance, race_wins_over_big_first, winner_counts
+
+
+def test_selector_sweep(benchmark):
+    results, race, wins, winner_counts = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+
+    lines = [f"Selector accuracy over {TRIALS} random dirfrag vectors "
+             "(relative distance to target; lower is better)",
+             f"{'strategy':<14} {'mean':>8} {'p90':>8}"]
+    means = {}
+    for name, distances in results.items():
+        data = np.asarray(distances)
+        means[name] = float(data.mean())
+        lines.append(f"{name:<14} {data.mean():>8.3f} "
+                     f"{np.percentile(data, 90):>8.3f}")
+    race_arr = np.asarray(race)
+    lines.append(f"{'RACE (Mantle)':<14} {race_arr.mean():>8.3f} "
+                 f"{np.percentile(race_arr, 90):>8.3f}")
+    lines.append("")
+    lines.append(f"race beats plain big_first in {wins / TRIALS:.0%} of "
+                 f"trials; winners: {winner_counts}")
+
+    # Racing the family is never worse than its best member on average...
+    assert race_arr.mean() <= min(means.values()) + 1e-9
+    # ...and clearly better than the CephFS single heuristic.
+    assert race_arr.mean() < means["big_first"] * 0.8
+    # Every selector wins somewhere (that is why the family exists).
+    assert all(count > 0 for count in winner_counts.values())
+
+    write_report("selector_sweep", lines)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Flash crowds and balancer aggressiveness (paper Fig 10).
+
+Five clients compile in separate directories on five MDS ranks.  Three
+variants of the Adaptable balancer (paper Listing 4) react differently:
+conservative (WRstate hysteresis) holds metadata on one rank until the
+spike persists; aggressive distributes immediately; too-aggressive chases
+perfect balance and thrashes.
+
+Run:  python examples/flash_crowd.py
+"""
+
+import numpy as np
+
+from repro import ClusterConfig, SimulatedCluster
+from repro.core.policies import (
+    adaptable_conservative_policy,
+    adaptable_policy,
+    adaptable_too_aggressive_policy,
+)
+from repro.workloads import CompileWorkload
+
+CLIENTS = 5
+SCALE = 6
+
+
+def sparkline(series, width=64):
+    data = np.asarray(series, dtype=float)
+    if data.size > width:
+        data = np.array([chunk.mean()
+                         for chunk in np.array_split(data, width)])
+    peak = data.max() or 1.0
+    glyphs = " .:-=+*#%@"
+    return "".join(glyphs[min(9, int(v / peak * 9))] for v in data)
+
+
+def run(policy, label, num_mds=5):
+    config = ClusterConfig(num_mds=num_mds, num_clients=CLIENTS, seed=3,
+                           client_think_time=0.0002)
+    cluster = SimulatedCluster(config, policy=policy)
+    workload = CompileWorkload(num_clients=CLIENTS, scale=SCALE, seed=11)
+    result = cluster.run_workload(workload)
+    exports = [d for d in result.decisions if d.exports]
+    first = min((d.time for d in exports), default=float("nan"))
+    print(f"== {label} ==")
+    print(f"   makespan={result.makespan:.1f}s "
+          f"migrations={result.total_migrations} "
+          f"forwards={result.total_forwards} first_export={first:.1f}s")
+    for rank in sorted(result.metrics.per_mds):
+        series = result.metrics.timeline.series(rank, until=result.makespan)
+        print(f"   mds{rank} |{sparkline(series)}|")
+    print()
+    return result
+
+
+def main() -> None:
+    single = run(None, "1 MDS (the red curve: link flash crowd hits one "
+                       "rank)", num_mds=1)
+    conservative = run(adaptable_conservative_policy(), "conservative")
+    aggressive = run(adaptable_policy(), "aggressive (Listing 4)")
+    too = run(adaptable_too_aggressive_policy(), "too aggressive")
+
+    print("takeaways (paper §4.3):")
+    print(f"  distributing early absorbs the flash crowd: aggressive "
+          f"{aggressive.makespan:.1f}s vs 1 MDS {single.makespan:.1f}s")
+    print(f"  chasing perfect balance thrashes: too-aggressive made "
+          f"{too.total_migrations} migrations "
+          f"({too.total_forwards} forwards) and finished in "
+          f"{too.makespan:.1f}s")
+    print(f"  hysteresis delays distribution: conservative exported "
+          f"later, finishing in {conservative.makespan:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

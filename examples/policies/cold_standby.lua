@@ -1,0 +1,42 @@
+-- An example Mantle policy file for `mantle-sim run --policy <file>`.
+--
+-- "Cold standby": keep everything on rank 1 until it is badly overloaded,
+-- then dump exactly the overload onto the last rank (kept cold as a
+-- standby), preferring big dirfrags so few migrations are needed.
+--
+-- Try:
+--   mantle-sim validate examples/policies/cold_standby.lua
+--   mantle-sim run --policy examples/policies/cold_standby.lua \
+--       --mds 3 --clients 4 --files 30000 --shared --split-size 15000
+
+-- @name cold-standby
+-- @need_min 1.0
+-- @min_unit_load 0.001
+
+-- @metaload
+IRD + 2*IWR
+
+-- @mdsload
+MDSs[i]["all"] + 100*MDSs[i]["q"]
+
+-- @when
+-- Fire only on sustained pressure: queue backed up or CPU pinned for two
+-- consecutive ticks (WRstate keeps the streak).
+hot = MDSs[whoami]["cpu"] > 85 or MDSs[whoami]["q"] > 8
+streak = RDstate() or 0
+if hot then WRstate(streak + 1) else WRstate(0) end
+standby = #MDSs
+go = whoami ~= standby and streak >= 2
+     and MDSs[standby]["load"] < MDSs[whoami]["load"]/10
+
+-- @where
+-- Send the overload (everything above 120% of the cluster average) to
+-- the standby rank.
+avg = total/#MDSs
+overload = MDSs[whoami]["load"] - 1.2*avg
+if overload > 0 then
+  targets[standby] = overload
+end
+
+-- @howmuch
+big_first, big_small

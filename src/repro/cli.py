@@ -1,0 +1,175 @@
+"""Command-line interface: ``mantle-sim``.
+
+Mirrors the paper's operational flow (``ceph tell mds.* injectargs ...``)
+against the simulated cluster:
+
+* ``mantle-sim policies`` — list the stock policies;
+* ``mantle-sim show <policy>`` — print a policy as a ``.lua`` policy file;
+* ``mantle-sim validate <policy-or-file>`` — pre-injection validation
+  (paper §4.4's "simulator that checks the logic before injecting");
+* ``mantle-sim run ...`` — run a workload under a policy and report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .cluster import SimulatedCluster
+from .config import ClusterConfig
+from .core.api import MantlePolicy
+from .core.policies import STOCK_POLICIES
+from .core.policyfile import dump_policy, load_policy_file
+from .core.validator import validate_policy
+from .workloads import CompileWorkload, CreateWorkload, ZipfWorkload
+
+
+def _resolve_policy(spec: str | None) -> MantlePolicy | None:
+    if spec is None or spec == "none":
+        return None
+    if spec in STOCK_POLICIES:
+        return STOCK_POLICIES[spec]()
+    path = Path(spec)
+    if path.exists():
+        return load_policy_file(path)
+    raise SystemExit(
+        f"unknown policy {spec!r}: not a stock policy "
+        f"({', '.join(sorted(STOCK_POLICIES))}) and no such file"
+    )
+
+
+def cmd_policies(_args: argparse.Namespace) -> int:
+    for name, factory in sorted(STOCK_POLICIES.items()):
+        policy = factory()
+        print(f"{name:<28} metaload={policy.metaload.strip()[:40]}")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    policy = _resolve_policy(args.policy)
+    if policy is None:
+        raise SystemExit("nothing to show for 'none'")
+    sys.stdout.write(dump_policy(policy))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    policy = _resolve_policy(args.policy)
+    if policy is None:
+        raise SystemExit("cannot validate 'none'")
+    report = validate_policy(policy, num_ranks=args.mds)
+    print(f"policy:   {report.policy_name}")
+    print(f"ok:       {report.ok}")
+    for problem in report.problems:
+        print(f"problem:  {problem}")
+    for warning in report.warnings:
+        print(f"warning:  {warning}")
+    print(f"dry run:  go={report.sample_go} targets={report.sample_targets}")
+    return 0 if report.ok else 1
+
+
+def _build_workload(args: argparse.Namespace):
+    if args.workload == "create":
+        return CreateWorkload(num_clients=args.clients,
+                              files_per_client=args.files,
+                              shared_dir=args.shared)
+    if args.workload == "compile":
+        return CompileWorkload(num_clients=args.clients, scale=args.scale,
+                               seed=args.seed)
+    if args.workload == "zipf":
+        return ZipfWorkload(num_clients=args.clients,
+                            num_files=args.files,
+                            ops_per_client=args.ops,
+                            seed=args.seed)
+    raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    policy = _resolve_policy(args.policy)
+    if policy is not None:
+        report = validate_policy(policy)
+        if not report.ok:
+            print("refusing to inject an invalid policy:", file=sys.stderr)
+            for problem in report.problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+    config = ClusterConfig(
+        num_mds=args.mds,
+        num_clients=args.clients,
+        seed=args.seed,
+        dir_split_size=args.split_size,
+        client_think_time=args.think,
+    )
+    cluster = SimulatedCluster(config, policy=policy)
+    workload = _build_workload(args)
+    result = cluster.run_workload(workload)
+    print(result.summary_line())
+    latency = result.latency_summary()
+    print(f"latency: mean={latency.mean * 1e3:.3f}ms "
+          f"p95={latency.p95 * 1e3:.3f}ms p99={latency.p99 * 1e3:.3f}ms")
+    if args.decisions:
+        for decision in result.decisions:
+            if decision.exports or decision.error:
+                print(f"t={decision.time:8.2f}s mds{decision.rank} "
+                      f"targets={decision.targets} error={decision.error}")
+                for path, load, target in decision.exports:
+                    print(f"    {path} (load {load:.1f}) -> mds{target}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mantle-sim",
+        description="Mantle (SC '15) on a simulated CephFS metadata cluster",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("policies", help="list stock policies") \
+        .set_defaults(func=cmd_policies)
+
+    show = sub.add_parser("show", help="print a policy as a .lua file")
+    show.add_argument("policy")
+    show.set_defaults(func=cmd_show)
+
+    validate = sub.add_parser("validate",
+                              help="validate a policy before injection")
+    validate.add_argument("policy", help="stock name or .lua policy file")
+    validate.add_argument("--mds", type=int, default=4,
+                          help="ranks in the dry-run cluster")
+    validate.set_defaults(func=cmd_validate)
+
+    run = sub.add_parser("run", help="run a workload under a policy")
+    run.add_argument("--policy", default="none",
+                     help="stock name, .lua file, or 'none'")
+    run.add_argument("--workload", default="create",
+                     choices=("create", "compile", "zipf"))
+    run.add_argument("--mds", type=int, default=2)
+    run.add_argument("--clients", type=int, default=4)
+    run.add_argument("--files", type=int, default=20_000,
+                     help="files per client (create) / population (zipf)")
+    run.add_argument("--ops", type=int, default=20_000,
+                     help="ops per client (zipf)")
+    run.add_argument("--scale", type=float, default=5.0,
+                     help="source-tree scale (compile)")
+    run.add_argument("--shared", action="store_true",
+                     help="create into one shared directory")
+    run.add_argument("--split-size", type=int, default=10_000,
+                     help="directory fragmentation threshold")
+    run.add_argument("--think", type=float, default=0.0,
+                     help="client think time between ops, seconds")
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--decisions", action="store_true",
+                     help="print every balancing decision")
+    run.set_defaults(func=cmd_run)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""Simulated clients and the metadata operations they issue."""
+
+from .client import Client, WorkloadOp, build_clients
+from .ops import MetaReply, MetaRequest, OpKind
+
+__all__ = [
+    "Client",
+    "MetaReply",
+    "MetaRequest",
+    "OpKind",
+    "WorkloadOp",
+    "build_clients",
+]

@@ -1,0 +1,88 @@
+"""Metadata operation types exchanged between clients and MDS ranks."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+
+class OpKind(str, Enum):
+    """The namespace operations the simulated clients issue."""
+
+    CREATE = "create"
+    MKDIR = "mkdir"
+    STAT = "stat"
+    LOOKUP = "lookup"
+    OPEN = "open"
+    READDIR = "readdir"
+    UNLINK = "unlink"
+    RENAME = "rename"
+
+    @property
+    def is_write(self) -> bool:
+        return self in (OpKind.CREATE, OpKind.MKDIR, OpKind.UNLINK,
+                        OpKind.RENAME)
+
+    @property
+    def counter_kind(self) -> str:
+        """Which decayed counter this op bumps (paper Table 2 metrics)."""
+        if self in (OpKind.CREATE, OpKind.MKDIR, OpKind.UNLINK,
+                    OpKind.RENAME):
+            return "IWR"
+        if self is OpKind.READDIR:
+            return "READDIR"
+        return "IRD"
+
+
+_REQ_IDS = itertools.count(1)
+
+
+@dataclass(slots=True)
+class MetaRequest:
+    """One client metadata request as it travels through the cluster."""
+
+    kind: OpKind
+    path: str
+    client_id: int
+    req_id: int = field(default_factory=lambda: next(_REQ_IDS))
+    #: Ranks that already handled (and forwarded) this request.
+    hops: list[int] = field(default_factory=list)
+    issued_at: float = 0.0
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def forwards(self) -> int:
+        return max(0, len(self.hops) - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MetaRequest({self.kind.value}, {self.path!r}, "
+                f"client={self.client_id}, hops={self.hops})")
+
+
+@dataclass
+class MetaReply:
+    """Reply delivered back to the client.
+
+    Real CephFS replies carry the directory's fragtree and the MDS map so
+    clients can route follow-up requests directly; ``dir_path``/``frag_map``
+    model that (``frag_map`` is a tuple of ``(bits, value, rank)``).
+    """
+
+    req_id: int
+    kind: OpKind
+    path: str
+    served_by: int
+    forwards: int
+    latency: float
+    result: Optional[Any] = None
+    error: Optional[str] = None
+    #: Destination path echoed back for renames (trace replay needs it).
+    dst: Optional[str] = None
+    dir_path: Optional[str] = None
+    frag_map: Optional[tuple[tuple[int, int, int], ...]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None

@@ -1,0 +1,274 @@
+"""Cluster assembly: build and run a simulated CephFS metadata cluster.
+
+``SimulatedCluster`` wires together the substrates (engine, network, RADOS,
+namespace, MDS ranks, clients), installs a Mantle policy, runs a workload
+to completion and returns a :class:`SimReport` -- the unit every example
+and benchmark in this repository is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .clients.client import Client, build_clients
+from .config import ClusterConfig
+from .core.api import MantlePolicy
+from .core.balancer import BalanceDecision, MantleBalancer
+from .mds.server import MdsServer
+from .metrics.collectors import ClusterMetrics
+from .metrics.heatmap import HeatSampler
+from .metrics.stats import Summary, summarize
+from .namespace.tree import Namespace
+from .rados.cluster import RadosCluster
+from .sim.engine import SimEngine
+from .sim.network import Network
+from .sim.rng import RngStreams
+from .workloads.base import Workload
+
+
+@dataclass
+class SimReport:
+    """Everything a benchmark needs from one run."""
+
+    config: ClusterConfig
+    policy_name: str
+    makespan: float
+    total_ops: int
+    client_runtimes: dict[int, float]
+    metrics: ClusterMetrics
+    decisions: list[BalanceDecision] = field(default_factory=list)
+    heat: Optional[HeatSampler] = None
+
+    @property
+    def throughput(self) -> float:
+        """Overall requests/second across the whole run."""
+        return self.total_ops / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def total_forwards(self) -> int:
+        return self.metrics.total_forwards
+
+    @property
+    def total_migrations(self) -> int:
+        return self.metrics.total_migrations
+
+    @property
+    def total_session_flushes(self) -> int:
+        return self.metrics.total_session_flushes
+
+    @property
+    def sessions_opened(self) -> int:
+        return self._sessions_opened
+
+    _sessions_opened: int = 0
+
+    def latency_summary(self) -> Summary:
+        return summarize(self.metrics.latencies.all_latencies())
+
+    def runtime_summary(self) -> Summary:
+        return summarize(self.client_runtimes.values())
+
+    def per_mds_ops(self) -> dict[int, int]:
+        return {rank: m.ops_served for rank, m in
+                sorted(self.metrics.per_mds.items())}
+
+    def summary_line(self) -> str:
+        per_mds = " ".join(
+            f"mds{rank}:{ops}" for rank, ops in self.per_mds_ops().items()
+        )
+        return (
+            f"[{self.policy_name}] makespan={self.makespan:.1f}s "
+            f"ops={self.total_ops} tput={self.throughput:.0f}/s "
+            f"fwd={self.total_forwards} mig={self.total_migrations} "
+            f"flush={self.total_session_flushes} | {per_mds}"
+        )
+
+
+class SimulatedCluster:
+    """A CephFS-like metadata cluster with Mantle hooks."""
+
+    def __init__(self, config: ClusterConfig,
+                 policy: Optional[MantlePolicy] = None,
+                 heat_sampling: float | None = None,
+                 heat_depth: int = 4) -> None:
+        config.validate()
+        self.config = config
+        self.engine = SimEngine()
+        self.rngs = RngStreams(seed=config.seed)
+        self.network = Network(
+            self.engine, self.rngs.stream("network"),
+            base_latency=config.net_latency,
+            jitter_cv=config.net_jitter_cv,
+        )
+        self.rados = RadosCluster(
+            self.engine, self.network, self.rngs,
+            num_osds=config.num_osds,
+        )
+        self.namespace = Namespace(
+            half_life=config.decay_half_life,
+            split_size=config.dir_split_size,
+            split_bits=config.dir_split_bits,
+            root_auth=0,
+        )
+        self.metrics = ClusterMetrics()
+        self.mdss = [
+            MdsServer(self.engine, rank, self.namespace, self.network,
+                      self.rados, config, self.rngs.stream(f"mds{rank}"),
+                      self.metrics)
+            for rank in range(config.num_mds)
+        ]
+        for mds in self.mdss:
+            mds.peers = self.mdss
+        self.balancer: Optional[MantleBalancer] = None
+        if policy is not None:
+            self.set_policy(policy)
+        self.clients: list[Client] = []
+        self.heat: Optional[HeatSampler] = None
+        if heat_sampling:
+            self.heat = HeatSampler(self.engine, self.namespace,
+                                    interval=heat_sampling,
+                                    max_depth=heat_depth)
+
+    # -- policy injection ---------------------------------------------------
+    def set_policy(self, policy: MantlePolicy) -> None:
+        """Inject a Mantle policy into every rank (``ceph tell mds.*``)."""
+        self.balancer = MantleBalancer(policy)
+        for mds in self.mdss:
+            mds.balancer = self.balancer
+
+    def clear_policy(self) -> None:
+        self.balancer = None
+        for mds in self.mdss:
+            mds.balancer = None
+
+    # -- manual partitioning (for the Fig 3 forced-spread setups) ------------
+    def pin(self, path: str, rank: int) -> None:
+        """Pin the subtree at *path* to *rank* (like ``setfattr ceph.dir.pin``)."""
+        if not 0 <= rank < len(self.mdss):
+            raise ValueError(f"no such rank {rank}")
+        directory = self.namespace.resolve_dir(path)
+        directory.set_auth(rank)
+        directory.clear_descendant_auth()
+
+    def spread_dirfrags(self, path: str, ranks: list[int]) -> None:
+        """Assign the dirfrags of *path* round-robin over *ranks*."""
+        directory = self.namespace.resolve_dir(path)
+        frags = list(directory.frags.values())
+        for index, frag in enumerate(frags):
+            frag.set_auth(ranks[index % len(ranks)])
+
+    def hash_partition(self, depth: int = 1) -> int:
+        """Statically hash-partition the namespace over all ranks.
+
+        The related-work baseline (paper §5, "Compute it - Hashing", e.g.
+        PVFSv2/SkyFS): every directory at *depth* is pinned to
+        ``hash(path) % num_mds``, destroying locality by construction but
+        giving perfect static balance.  Returns the number of pins made.
+        Call after the relevant directories exist (e.g. from
+        ``workload.prepare`` or mid-run).
+        """
+        from .rados.crush import _hash64
+
+        pinned = 0
+        for directory in list(self.namespace.root.walk()):
+            if directory.depth() == depth:
+                rank = _hash64(directory.path()) % len(self.mdss)
+                directory.set_auth(rank)
+                directory.clear_descendant_auth()
+                pinned += 1
+        return pinned
+
+    # -- running -------------------------------------------------------
+    def run_workload(self, workload: Workload,
+                     max_time: float = 36_000.0) -> SimReport:
+        """Prepare, start clients and heartbeats, run to completion."""
+        workload.prepare(self.namespace)
+        self.clients = build_clients(
+            self.engine, self.network, self.mdss, self.metrics,
+            workload.op_streams(),
+            pipeline=self.config.client_pipeline,
+            think_time=self.config.client_think_time,
+            cap_switch_time=self.config.cap_switch_time,
+        )
+        for mds in self.mdss:
+            mds.start_heartbeats()
+        for client in self.clients:
+            client.start()
+
+        all_done = self.engine.completion()
+        remaining = len(self.clients)
+
+        def one_done(_completion) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                all_done.succeed(None)
+
+        for client in self.clients:
+            client.done.add_callback(one_done)
+        if not self.clients:
+            self.engine.run_until(max_time)
+        else:
+            deadline = self.engine.schedule(
+                max_time, all_done.fail,
+                RuntimeError(f"workload exceeded {max_time} simulated "
+                             "seconds"),
+            )
+            self.engine.run_until_complete(
+                all_done, max_events=self.config.max_events
+            )
+            deadline.cancel()
+        return self._report()
+
+    def run_for(self, duration: float) -> SimReport:
+        """Run without a workload for *duration* simulated seconds."""
+        for mds in self.mdss:
+            mds.start_heartbeats()
+        self.engine.run_until(self.engine.now + duration)
+        return self._report()
+
+    def _report(self) -> SimReport:
+        if self.heat is not None:
+            self.heat.stop()
+        report = SimReport(
+            config=self.config,
+            policy_name=(self.balancer.policy.name
+                         if self.balancer else "none"),
+            makespan=self.metrics.makespan(),
+            total_ops=self.metrics.total_ops,
+            client_runtimes=self.metrics.client_runtimes(),
+            metrics=self.metrics,
+            decisions=(list(self.balancer.decisions)
+                       if self.balancer else []),
+            heat=self.heat,
+        )
+        report._sessions_opened = sum(
+            mds.sessions.sessions_opened for mds in self.mdss
+        )
+        return report
+
+
+def run_experiment(config: ClusterConfig, workload: Workload,
+                   policy: Optional[MantlePolicy] = None,
+                   heat_sampling: float | None = None,
+                   max_time: float = 36_000.0) -> SimReport:
+    """One-shot convenience: build a cluster, run a workload, report."""
+    cluster = SimulatedCluster(config, policy=policy,
+                               heat_sampling=heat_sampling)
+    return cluster.run_workload(workload, max_time=max_time)
+
+
+def run_seeds(config: ClusterConfig, workload_factory, seeds,
+              policy_factory=None, max_time: float = 36_000.0
+              ) -> list[SimReport]:
+    """Run the same experiment across seeds (Fig 4's reproducibility view)."""
+    reports = []
+    for seed in seeds:
+        cfg = config.with_overrides(seed=int(seed))
+        policy = policy_factory() if policy_factory else None
+        reports.append(
+            run_experiment(cfg, workload_factory(), policy=policy,
+                           max_time=max_time)
+        )
+    return reports

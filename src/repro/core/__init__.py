@@ -1,0 +1,72 @@
+"""Mantle: the programmable metadata load balancer (the paper's contribution).
+
+Decouples balancing *policy* from the MDS migration *mechanisms*: policies
+are small Mantle-Lua programs injected through :class:`MantlePolicy`, run by
+:class:`MantleBalancer` against the Table-2 environment on every heartbeat
+tick, validated before injection by :func:`validate_policy`.
+"""
+
+from .api import CEPHFS_MDSLOAD, CEPHFS_METALOAD, MantlePolicy
+from .balancer import BalanceDecision, MantleBalancer
+from .environment import (
+    MDS_METRIC_KEYS,
+    build_decision_bindings,
+    compile_mdsload,
+    compile_metaload,
+    extract_targets,
+)
+from .selectors import (
+    REGISTRY as SELECTOR_REGISTRY,
+    SelectorOutcome,
+    big_first,
+    big_small,
+    choose_best,
+    get_selector,
+    half,
+    register_selector,
+    small_first,
+)
+from .inspector import (
+    DecisionAnalysis,
+    Migration,
+    ThrashReport,
+    balance_timeline,
+    summarize_behaviour,
+)
+from .policyfile import dump_policy, load_policy_file, parse_policy_source
+from .state import BalancerState, RadosBalancerState
+from .validator import ValidationReport, validate_policy
+
+__all__ = [
+    "BalanceDecision",
+    "DecisionAnalysis",
+    "Migration",
+    "ThrashReport",
+    "balance_timeline",
+    "summarize_behaviour",
+    "BalancerState",
+    "RadosBalancerState",
+    "CEPHFS_MDSLOAD",
+    "CEPHFS_METALOAD",
+    "MDS_METRIC_KEYS",
+    "MantleBalancer",
+    "MantlePolicy",
+    "SELECTOR_REGISTRY",
+    "SelectorOutcome",
+    "ValidationReport",
+    "big_first",
+    "big_small",
+    "build_decision_bindings",
+    "choose_best",
+    "compile_mdsload",
+    "compile_metaload",
+    "dump_policy",
+    "load_policy_file",
+    "parse_policy_source",
+    "extract_targets",
+    "get_selector",
+    "half",
+    "register_selector",
+    "small_first",
+    "validate_policy",
+]

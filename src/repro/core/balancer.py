@@ -1,0 +1,281 @@
+"""The Mantle balancer driver.
+
+Runs once per heartbeat tick on each MDS (paper Fig 2's "migrate?" box):
+
+1. score every rank with the policy's ``mds_bal_mdsload`` formula over the
+   (stale) heartbeat table;
+2. execute the ``when``/``where`` decision chunk in the Mantle environment;
+3. if the policy produced ``targets``, partition the namespace -- walking
+   from this rank's subtree roots downward, racing the policy's dirfrag
+   selectors against each target load (§3.2 "How Much");
+4. hand the chosen export units to the migration mechanism.
+
+Any Lua error or budget blow-up in injected code aborts the tick without
+touching the cluster -- the decoupling safety property the paper argues
+for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..luapolicy.errors import LuaError
+from ..mds.migration import ExportUnit
+from ..namespace.directory import Directory
+from .api import MantlePolicy
+from .environment import build_decision_bindings, extract_targets
+from .selectors import choose_best
+from .state import BalancerState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mds.server import MdsServer
+
+
+@dataclass
+class BalanceDecision:
+    """Record of one balancing tick (for tests, reports and debugging)."""
+
+    time: float
+    rank: int
+    went: bool
+    targets: dict[int, float] = field(default_factory=dict)
+    exports: list[tuple[str, float, int]] = field(default_factory=list)
+    error: Optional[str] = None
+    skipped: Optional[str] = None
+
+
+class MantleBalancer:
+    """Attaches a :class:`MantlePolicy` to the MDS mechanisms."""
+
+    def __init__(self, policy: MantlePolicy,
+                 state: BalancerState | None = None) -> None:
+        policy.compile_all()
+        self.policy = policy
+        self.state = state or BalancerState()
+        self.metaload_fn = policy.metaload_fn()
+        self.mdsload_fn = policy.mdsload_fn()
+        self.decisions: list[BalanceDecision] = []
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    def tick(self, mds: "MdsServer") -> BalanceDecision:
+        now = mds.engine.now
+        decision = BalanceDecision(time=now, rank=mds.rank, went=False)
+        self.decisions.append(decision)
+        num_ranks = len(mds.peers)
+        if num_ranks < 2:
+            decision.skipped = "single MDS"
+            return decision
+        if mds.migrator.in_flight > 0:
+            decision.skipped = "migration in flight"
+            return decision
+        if not mds.hb_table.have_all(num_ranks):
+            decision.skipped = "heartbeats incomplete"
+            return decision
+
+        mds_metrics = self._score_ranks(mds, num_ranks, decision)
+        if mds_metrics is None:
+            return decision
+
+        targets = self._run_decision(mds, mds_metrics, decision)
+        if not targets:
+            return decision
+        decision.went = True
+        decision.targets = dict(targets)
+
+        self._ship(mds, targets, decision)
+        return decision
+
+    # -- step 1: score all ranks ------------------------------------------
+    def _score_ranks(self, mds: "MdsServer", num_ranks: int,
+                     decision: BalanceDecision) -> Optional[list[dict]]:
+        metrics_list: list[dict] = []
+        for rank in range(num_ranks):
+            beat = mds.hb_table.get(rank)
+            assert beat is not None  # have_all() checked
+            metrics_list.append(beat.as_metrics())
+        try:
+            for rank, metrics in enumerate(metrics_list):
+                metrics["load"] = self.mdsload_fn(metrics_list, rank)
+        except LuaError as exc:
+            self.errors += 1
+            decision.error = f"mdsload: {exc}"
+            return None
+        return metrics_list
+
+    # -- step 2: when/where decision ---------------------------------------
+    def _run_decision(self, mds: "MdsServer", mds_metrics: list[dict],
+                      decision: BalanceDecision) -> dict[int, float]:
+        now = mds.engine.now
+        wrstate, rdstate = self.state.bound_functions(mds.rank)
+        bindings = build_decision_bindings(
+            whoami=mds.rank,
+            mds_metrics=mds_metrics,
+            local_counters=mds.all_load.snapshot(now),
+            auth_metaload=self.metaload_fn(mds.auth_load.snapshot(now)),
+            all_metaload=self.metaload_fn(mds.all_load.snapshot(now)),
+            wrstate=wrstate,
+            rdstate=rdstate,
+        )
+        try:
+            result = self.policy.decision_chunk().run(bindings)
+        except LuaError as exc:
+            self.errors += 1
+            decision.error = f"decision: {exc}"
+            return {}
+        go = result.global_value("go")
+        if go is None or go is False:
+            return {}
+        raw_targets = result.python_value("targets")
+        targets = extract_targets(raw_targets, len(mds_metrics))
+        targets.pop(mds.rank, None)
+        return targets
+
+    # -- step 3+4: partition the namespace and export -----------------------
+    def _ship(self, mds: "MdsServer", targets: dict[int, float],
+              decision: BalanceDecision) -> None:
+        now = mds.engine.now
+        # Serve the biggest target first, consuming export units as we go.
+        taken: set[int] = set()
+        for rank, raw_target in sorted(targets.items(),
+                                       key=lambda kv: kv[1], reverse=True):
+            target = raw_target * self.policy.need_min_factor
+            if target <= self.policy.min_unit_load:
+                continue
+            units = self._partition_namespace(mds, target, now, taken)
+            for unit, load in units:
+                decision.exports.append((unit.path(), load, rank))
+                mds.migrator.export(unit, rank)
+
+    def _partition_namespace(
+        self, mds: "MdsServer", target: float, now: float,
+        taken: set[int],
+    ) -> list[tuple[ExportUnit, float]]:
+        """Walk from this rank's subtree roots, racing dirfrag selectors.
+
+        Paper §2.2.3 / §3.2: start at the root subtrees; at each directory
+        consider its child subtrees and dirfrags as candidate units; ship
+        the selector-chosen subset; if the target is not met, drill down
+        into the hottest remaining directory.
+        """
+        exports: list[tuple[ExportUnit, float]] = []
+        remaining = target
+        frontier = self._roots(mds)
+        visited: set[int] = {id(d) for d in frontier}
+        while frontier and remaining > self.policy.min_unit_load:
+            frontier.sort(
+                key=lambda d: self.metaload_fn(d.counters.snapshot(now)),
+                reverse=True,
+            )
+            directory = frontier.pop(0)
+            units = self._candidates(mds, directory, now, taken)
+            # Subtrees too popular to move whole are drilled into instead;
+            # dirfrags cannot be divided further, so they always qualify.
+            ceiling = remaining * self.policy.max_overshoot
+            fitting = [
+                (unit, load) for unit, load in units
+                if not unit.is_subtree or load <= ceiling
+            ]
+            chosen_dirs: set[int] = set()
+            if fitting:
+                outcome = choose_best(self.policy.howmuch, fitting, remaining)
+                for unit, load in outcome.chosen:
+                    exports.append((unit, load))
+                    remaining -= load
+                    taken.add(id(unit.target))
+                    if unit.is_subtree:
+                        chosen_dirs.add(id(unit.target))
+            # Drill down into unexported, owned subdirectories.
+            for child in directory.subdirs.values():
+                if id(child) in chosen_dirs or id(child) in taken:
+                    continue
+                if id(child) in visited:
+                    continue
+                if child.authority() == mds.rank:
+                    visited.add(id(child))
+                    frontier.append(child)
+        return exports
+
+    def _roots(self, mds: "MdsServer") -> list[Directory]:
+        roots = mds.namespace.subtree_roots(mds.rank)
+        # Nested subtree roots are reached by drill-down from their
+        # outermost ancestor; keep only the outermost ones.
+        outer: list[Directory] = []
+        for root in roots:
+            if not any(other is not root and _is_ancestor(other, root)
+                       for other in roots):
+                outer.append(root)
+        # A rank that owns individual dirfrags (but no subtree) must still
+        # be able to shed them: include the directories holding its frags.
+        seen = {id(d) for d in outer}
+        for directory in mds.namespace.root.walk():
+            if id(directory) in seen:
+                continue
+            if directory.authority() == mds.rank:
+                continue  # reached by drill-down from a root above
+            if any(frag.explicit_auth == mds.rank
+                   for frag in directory.frags.values()):
+                seen.add(id(directory))
+                outer.append(directory)
+        return outer
+
+    def _candidates(self, mds: "MdsServer", directory: Directory,
+                    now: float, taken: set[int]):
+        units: list[tuple[ExportUnit, float]] = []
+        for child in directory.subdirs.values():
+            if id(child) in taken:
+                continue
+            if self._fully_owned(child, mds.rank) and not self._frozen(child):
+                unit = ExportUnit(child)
+                load = unit.load(self.metaload_fn, now)
+                if load > self.policy.min_unit_load:
+                    units.append((unit, load))
+        # Dirfrags are atomic export units: offered even when the directory
+        # has a single frag (a hot leaf directory can only move whole, as
+        # CephFS's biggest-first heuristic does -- overshooting if need be).
+        for frag in directory.frags.values():
+            if id(frag) in taken or frag.frozen:
+                continue
+            if frag.authority() != mds.rank:
+                continue
+            load = self.metaload_fn(frag.load_snapshot(now))
+            if load > self.policy.min_unit_load:
+                units.append((ExportUnit(frag), load))
+        return units
+
+    @staticmethod
+    def _fully_owned(directory: Directory, rank: int) -> bool:
+        if directory.authority() != rank:
+            return False
+        for node in directory.walk():
+            if node.explicit_auth not in (None, rank):
+                return False
+            for frag in node.frags.values():
+                if frag.explicit_auth not in (None, rank):
+                    return False
+        return True
+
+    @staticmethod
+    def _frozen(directory: Directory) -> bool:
+        return any(
+            frag.frozen
+            for node in directory.walk()
+            for frag in node.frags.values()
+        )
+
+    # -- reporting ------------------------------------------------------
+    def migrations_decided(self) -> int:
+        return sum(len(decision.exports) for decision in self.decisions)
+
+    def last_decision(self) -> Optional[BalanceDecision]:
+        return self.decisions[-1] if self.decisions else None
+
+
+def _is_ancestor(ancestor: Directory, node: Directory) -> bool:
+    current = node.parent
+    while current is not None:
+        if current is ancestor:
+            return True
+        current = current.parent
+    return False

@@ -1,0 +1,183 @@
+"""The Mantle environment (paper Table 2).
+
+Builds the global variables and functions injected policies see:
+
+* current-MDS metrics: ``whoami``, ``authmetaload``, ``allmetaload``,
+  ``IRD``/``IWR``/``READDIR``/``FETCH``/``STORE``;
+* per-MDS metrics: ``MDSs[i]["auth"|"all"|"cpu"|"mem"|"q"|"req"|"load"]``
+  and ``total``;
+* functions: ``WRstate(s)``, ``RDstate()``, ``max``, ``min``.
+
+Also compiles load formulas (``mds_bal_metaload``/``mds_bal_mdsload``) into
+fast Python callables: simple arithmetic formulas are transpiled to native
+closures (they run once per dirfrag per tick, which adds up), with the full
+interpreter as the fallback for anything fancier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from ..luapolicy import lua_ast as ast
+from ..luapolicy.errors import LuaRuntimeError, LuaSyntaxError
+from ..luapolicy.parser import parse_expression
+from ..luapolicy.sandbox import compile_load_expression
+from ..namespace.counters import OP_KINDS
+
+#: Keys every per-MDS metrics table carries (Table 2).
+MDS_METRIC_KEYS = ("auth", "all", "cpu", "mem", "q", "req", "load")
+
+
+class _Unsupported(Exception):
+    pass
+
+
+def _transpile(node: ast.Expr) -> Callable[[Mapping[str, float]], float]:
+    """Compile a pure-arithmetic expression over named scalars to a closure."""
+    if isinstance(node, ast.NumberLiteral):
+        value = node.value
+        return lambda env: value
+    if isinstance(node, ast.Name):
+        name = node.name
+        def lookup(env: Mapping[str, float], _name=name) -> float:
+            try:
+                return float(env[_name])
+            except KeyError as exc:
+                raise LuaRuntimeError(
+                    f"unknown metric {_name!r} in load formula"
+                ) from exc
+        return lookup
+    if isinstance(node, ast.UnaryOp) and node.op == "-":
+        inner = _transpile(node.operand)
+        return lambda env: -inner(env)
+    if isinstance(node, ast.BinaryOp) and node.op in "+-*/":
+        left = _transpile(node.left)
+        right = _transpile(node.right)
+        op = node.op
+        if op == "+":
+            return lambda env: left(env) + right(env)
+        if op == "-":
+            return lambda env: left(env) - right(env)
+        if op == "*":
+            return lambda env: left(env) * right(env)
+        def divide(env: Mapping[str, float]) -> float:
+            denominator = right(env)
+            if denominator == 0:
+                raise LuaRuntimeError("division by zero in load formula")
+            return left(env) / denominator
+        return divide
+    raise _Unsupported(type(node).__name__)
+
+
+def compile_metaload(source: str) -> Callable[[Mapping[str, float]], float]:
+    """Compile a metaload formula into ``fn(counter_snapshot) -> float``.
+
+    The snapshot maps the five op-kind counters (and nothing else) to their
+    decayed values, exactly what :meth:`LoadCounters.snapshot` returns.
+    """
+    text = source.strip()
+    try:
+        expr = parse_expression(text)
+        fast = _transpile(expr)
+    except (_Unsupported, LuaSyntaxError):
+        fast = None
+    if fast is not None:
+        return fast
+    compiled = compile_load_expression(text)
+
+    def slow(snapshot: Mapping[str, float]) -> float:
+        bindings = {kind: float(snapshot.get(kind, 0.0)) for kind in OP_KINDS}
+        result = compiled.run(bindings)
+        if result.returned:
+            value = result.returned[0]
+        else:
+            value = result.global_value("metaload")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise LuaRuntimeError(
+                f"metaload formula produced {value!r}, expected a number"
+            )
+        return float(value)
+
+    return slow
+
+
+def compile_mdsload(source: str) -> Callable[[list[dict], int], float]:
+    """Compile an MDS-load formula into ``fn(mds_metrics, i) -> float``.
+
+    *mds_metrics* is the list of per-rank metric dicts (0-based);
+    *i* is the 0-based rank being scored.  Inside the formula, ``MDSs`` and
+    ``i`` are 1-based as in Lua.
+    """
+    compiled = compile_load_expression(source.strip())
+
+    def score(mds_metrics: list[dict], i: int) -> float:
+        mdss = [dict(metrics) for metrics in mds_metrics]
+        result = compiled.run({"MDSs": mdss, "i": i + 1})
+        if result.returned:
+            value = result.returned[0]
+        else:
+            value = result.global_value("mdsload")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise LuaRuntimeError(
+                f"mdsload formula produced {value!r}, expected a number"
+            )
+        return float(value)
+
+    return score
+
+
+def build_decision_bindings(
+    whoami: int,
+    mds_metrics: list[dict],
+    local_counters: Mapping[str, float],
+    auth_metaload: float,
+    all_metaload: float,
+    wrstate: Callable[..., Any],
+    rdstate: Callable[[], Any],
+) -> dict[str, Any]:
+    """Globals for the when/where decision chunk (paper Table 2).
+
+    *whoami* and the metrics list are 0-based on the Python side; the
+    bindings are 1-based Lua style.
+    """
+    total = sum(float(metrics.get("load", 0.0)) for metrics in mds_metrics)
+    bindings: dict[str, Any] = {
+        "whoami": whoami + 1,
+        "MDSs": [dict(metrics) for metrics in mds_metrics],
+        "total": total,
+        "authmetaload": float(auth_metaload),
+        "allmetaload": float(all_metaload),
+        "targets": {},
+        "WRstate": wrstate,
+        "RDstate": rdstate,
+    }
+    for kind in OP_KINDS:
+        bindings[kind] = float(local_counters.get(kind, 0.0))
+    return bindings
+
+
+def extract_targets(raw: Any, num_ranks: int) -> dict[int, float]:
+    """Convert the policy's 1-based ``targets`` table to {0-based: load}.
+
+    Non-numeric, non-positive and out-of-range entries are dropped -- a bad
+    policy must not crash the balancer (§4.4 safety).
+    """
+    if raw is None:
+        return {}
+    if isinstance(raw, list):
+        raw = {i + 1: value for i, value in enumerate(raw)}
+    if not isinstance(raw, dict):
+        return {}
+    targets: dict[int, float] = {}
+    for key, value in raw.items():
+        if isinstance(key, bool) or not isinstance(key, (int, float)):
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        rank = int(key) - 1
+        if key != int(key) or rank < 0 or rank >= num_ranks:
+            continue
+        if value <= 0:
+            continue
+        targets[rank] = float(value)
+    return targets

@@ -1,0 +1,45 @@
+"""Stock Mantle policies: the paper's Table 1 and Listings 1-4."""
+
+from .advanced import (
+    capacity_model_policy,
+    feedback_policy,
+    giga_autonomous_policy,
+)
+from .adaptable import (
+    adaptable_conservative_policy,
+    adaptable_policy,
+    adaptable_too_aggressive_policy,
+)
+from .fill_spill import fill_spill_policy
+from .greedy_spill import greedy_spill_even_policy, greedy_spill_policy
+from .original import original_capped_policy, original_policy
+
+#: Registry of the stock policies by name.
+STOCK_POLICIES = {
+    "cephfs-original": original_policy,
+    "greedy-spill": greedy_spill_policy,
+    "greedy-spill-even": greedy_spill_even_policy,
+    "fill-and-spill": fill_spill_policy,
+    "adaptable": adaptable_policy,
+    "adaptable-conservative": adaptable_conservative_policy,
+    "adaptable-too-aggressive": adaptable_too_aggressive_policy,
+    "cephfs-original-capped": original_capped_policy,
+    "giga-autonomous": giga_autonomous_policy,
+    "capacity-model": capacity_model_policy,
+    "feedback-controller": feedback_policy,
+}
+
+__all__ = [
+    "STOCK_POLICIES",
+    "capacity_model_policy",
+    "feedback_policy",
+    "giga_autonomous_policy",
+    "adaptable_conservative_policy",
+    "adaptable_policy",
+    "adaptable_too_aggressive_policy",
+    "fill_spill_policy",
+    "greedy_spill_even_policy",
+    "greedy_spill_policy",
+    "original_capped_policy",
+    "original_policy",
+]

@@ -1,0 +1,151 @@
+"""Adaptable balancer (paper §4.3, Listing 4) and its Fig 10 variants.
+
+A simplified version of the original balancer's adaptable load sharing:
+migrate only when a single rank holds the majority of the cluster load,
+then assign every underloaded rank a target that evens things out, racing
+the full selector family for accuracy.
+
+Paper Listing 4 (verbatim)::
+
+    -- Metadata load
+    metaload = IWR + IRD
+    -- When policy
+    max=0
+    for i=1,#MDSs do
+      max = max(MDSs[i]["load"], max)
+    end
+    myLoad = MDSs[whoami]["load"]
+    if myLoad>total/2 and myLoad>=max then
+    -- Balancer where policy
+    targetLoad=total/#MDSs
+    for i=1,#MDSs do
+      if MDSs[i]["load"]<targetLoad then
+        targets[i]=targetLoad-MDSs[i]["load"]
+      end
+    end
+    -- Howmuch policy
+    {"half","small","big","big_small"}
+
+Cosmetic difference: the listing shadows the builtin ``max`` function with
+a number and then calls it -- real Lua would raise "attempt to call a
+number value" -- so the accumulator is named ``maxv`` here.
+
+Fig 10 explores three aggressiveness levels of this policy:
+
+* ``conservative`` -- adds a minimum-offload threshold, so metadata stays
+  on one MDS until a load spike forces distribution;
+* ``aggressive`` -- Listing 4 as written: distributes as soon as one rank
+  has the majority of cluster load;
+* ``too_aggressive`` -- drops the majority requirement and constantly
+  chases perfect balance, which fragments the namespace, multiplies
+  forwards (the paper measured 60x) and hurts runtime and stability.
+"""
+
+from __future__ import annotations
+
+from ..api import MantlePolicy
+
+METALOAD = "IWR + IRD"
+MDSLOAD = 'MDSs[i]["all"]'
+
+SELECTORS = ("half", "small", "big", "big_small")
+
+WHEN_AGGRESSIVE = """
+-- Listing 4 "when": migrate only if I hold the majority of cluster load.
+maxv = 0
+for i=1,#MDSs do
+  maxv = max(MDSs[i]["load"], maxv)
+end
+myLoad = MDSs[whoami]["load"]
+go = myLoad > total/2 and myLoad >= maxv
+"""
+
+_WHEN_CONSERVATIVE_TEMPLATE = """
+-- Fig 10 "conservative": as Listing 4, plus hysteresis via WRstate --
+-- metadata stays on one MDS until it has been overloaded for
+-- {patience_plus_one} straight iterations (the §3.1 example of using
+-- WRstate/RDstate to make migration decisions more conservative).
+maxv = 0
+for i=1,#MDSs do
+  maxv = max(MDSs[i]["load"], maxv)
+end
+myLoad = MDSs[whoami]["load"]
+overloaded = myLoad > total/2 and myLoad >= maxv
+             and (myLoad - total/#MDSs) > {min_offload}
+wait = RDstate() or {patience}
+go = false
+if overloaded then
+  if wait > 0 then WRstate(wait-1)
+  else WRstate({patience}); go = true end
+else WRstate({patience}) end
+"""
+
+WHEN_TOO_AGGRESSIVE = """
+-- Fig 10 "too aggressive": chase perfect balance -- migrate whenever I am
+-- at all above the cluster average.
+maxv = 0
+for i=1,#MDSs do
+  maxv = max(MDSs[i]["load"], maxv)
+end
+myLoad = MDSs[whoami]["load"]
+go = myLoad > total/#MDSs and myLoad >= maxv
+"""
+
+WHERE = """
+-- Listing 4 "where": even out every underloaded rank, scaled by how much
+-- load the remote already has.
+targetLoad = total/#MDSs
+for i=1,#MDSs do
+  if MDSs[i]["load"] < targetLoad then
+    targets[i] = targetLoad - MDSs[i]["load"]
+  end
+end
+"""
+
+
+def adaptable_policy() -> MantlePolicy:
+    """Listing 4 as written (the "aggressive" middle line of Fig 10)."""
+    return MantlePolicy(
+        name="adaptable",
+        metaload=METALOAD,
+        mdsload=MDSLOAD,
+        when=WHEN_AGGRESSIVE,
+        where=WHERE,
+        howmuch=SELECTORS,
+        min_unit_load=1e-4,
+    )
+
+
+def adaptable_conservative_policy(min_offload: float = 50.0,
+                                  patience: int = 2) -> MantlePolicy:
+    """Fig 10 top: hold metadata local until the overload persists.
+
+    *patience* extra overloaded ticks are required before migrating (so
+    distribution happens ``patience+1`` heartbeats into a sustained spike);
+    *min_offload* additionally ignores surpluses that are not worth moving.
+    """
+    return MantlePolicy(
+        name="adaptable-conservative",
+        metaload=METALOAD,
+        mdsload=MDSLOAD,
+        when=_WHEN_CONSERVATIVE_TEMPLATE.format(
+            min_offload=min_offload, patience=patience,
+            patience_plus_one=patience + 1,
+        ),
+        where=WHERE,
+        howmuch=SELECTORS,
+        min_unit_load=1e-4,
+    )
+
+
+def adaptable_too_aggressive_policy() -> MantlePolicy:
+    """Fig 10 bottom: constantly chase perfect balance (it hurts)."""
+    return MantlePolicy(
+        name="adaptable-too-aggressive",
+        metaload=METALOAD,
+        mdsload=MDSLOAD,
+        when=WHEN_TOO_AGGRESSIVE,
+        where=WHERE,
+        howmuch=SELECTORS,
+        min_unit_load=1e-4,
+    )

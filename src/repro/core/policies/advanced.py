@@ -1,0 +1,147 @@
+"""Advanced balancers from the paper's future-work section (§4.4).
+
+The paper closes by listing balancers Mantle *should* be able to express:
+GIGA+-style autonomous load splitting, and "balancers that use request
+cost and statistical modeling, control feedback loops".  These policies
+demonstrate that the injectable API is rich enough for them:
+
+* :func:`giga_autonomous_policy` -- GIGA+'s autonomous splitting: each
+  rank that crosses a per-rank load threshold independently sheds half of
+  its *own* load to the rank that hashing designates next, with no global
+  view needed beyond "is my designated target still idle";
+* :func:`capacity_model_policy` -- a statistical capacity model: tracks an
+  exponentially-weighted estimate of this rank's saturation point using
+  WRstate, and spills exactly the excess over the model's capacity
+  estimate;
+* :func:`feedback_policy` -- a proportional controller: spills an amount
+  proportional to the distance between this rank's utilisation and a
+  setpoint, damped by the previous tick's action (stored via WRstate).
+"""
+
+from __future__ import annotations
+
+from ..api import MantlePolicy
+
+MDSLOAD_ALL = 'MDSs[i]["all"]'
+
+
+def giga_autonomous_policy(threshold: float = 200.0) -> MantlePolicy:
+    """GIGA+-style autonomous splitting (paper §4.4 future work).
+
+    Every rank acts purely on local knowledge: once its own load crosses
+    *threshold*, it halves itself into the next rank in a binary-split
+    order (rank r splits into r + 2^depth), regardless of global balance.
+    """
+    when = f"""
+    -- Autonomous split: find my next split target by doubling depth.
+    myLoad = MDSs[whoami]["load"]
+    depth = 1
+    target = whoami + depth
+    while target <= #MDSs and MDSs[target] ~= nil
+          and MDSs[target]["load"] > {threshold}/2 do
+      depth = depth * 2
+      target = whoami + depth
+    end
+    go = myLoad > {threshold} and target <= #MDSs
+    """
+    where = """
+    targets[target] = MDSs[whoami]["load"]/2
+    """
+    return MantlePolicy(
+        name="giga-autonomous",
+        metaload="IWR",
+        mdsload=MDSLOAD_ALL,
+        when=when,
+        where=where,
+        howmuch=("half",),
+        min_unit_load=1e-4,
+    )
+
+
+def capacity_model_policy(initial_capacity: float = 30_000.0,
+                          alpha: float = 0.25) -> MantlePolicy:
+    """Statistical capacity model (paper §4.4: "request cost and
+    statistical modeling").
+
+    WRstate holds an EWMA estimate of this rank's capacity: whenever the
+    rank runs hot (cpu > 90), the estimate contracts toward the current
+    load; when it runs cool, it relaxes upward.  The rank spills exactly
+    the load the model says it cannot handle.
+    """
+    when = f"""
+    cap = RDstate() or {initial_capacity}
+    myLoad = MDSs[whoami]["load"]
+    cpu = MDSs[whoami]["cpu"]
+    if cpu > 90 then
+      -- saturated below the estimate: contract it
+      cap = (1-{alpha})*cap + {alpha}*myLoad*0.9
+    elseif cpu < 50 then
+      -- comfortable: relax the estimate upward
+      cap = (1-{alpha})*cap + {alpha}*(myLoad + {initial_capacity})
+    end
+    WRstate(cap)
+    excess = myLoad - cap
+    go = excess > 0.05*cap
+    """
+    where = """
+    -- Give the excess to the coolest rank.
+    best, bestload = whoami, math.huge
+    for i = 1, #MDSs do
+      if i ~= whoami and MDSs[i]["load"] < bestload then
+        best, bestload = i, MDSs[i]["load"]
+      end
+    end
+    if best ~= whoami then targets[best] = excess end
+    """
+    return MantlePolicy(
+        name="capacity-model",
+        metaload="IRD + IWR",
+        mdsload=MDSLOAD_ALL,
+        when=when,
+        where=where,
+        howmuch=("big_small", "small_first"),
+        min_unit_load=1e-4,
+    )
+
+
+def feedback_policy(setpoint: float = 70.0, gain: float = 0.02,
+                    damping: float = 0.5) -> MantlePolicy:
+    """Proportional feedback controller (paper §4.4: "control feedback
+    loops").
+
+    error = cpu - setpoint; the spilled fraction is gain*error, smoothed
+    against the previous tick's action (stored with WRstate) so the
+    controller does not chatter.
+    """
+    when = f"""
+    cpu = MDSs[whoami]["cpu"]
+    err = cpu - {setpoint}
+    prev = RDstate() or 0
+    action = {damping}*prev + (1-{damping})*({gain}*err)
+    WRstate(action)
+    go = action > 0.01 and MDSs[whoami]["load"] > 0
+    """
+    where = """
+    -- Spread the controller's output over the cooler half of the cluster.
+    share = MDSs[whoami]["load"] * math.min(0.5, action)
+    count = 0
+    for i = 1, #MDSs do
+      if i ~= whoami and MDSs[i]["cpu"] < cpu then count = count + 1 end
+    end
+    if count > 0 then
+      for i = 1, #MDSs do
+        if i ~= whoami and MDSs[i]["cpu"] < cpu then
+          targets[i] = share/count
+        end
+      end
+    end
+    """
+    return MantlePolicy(
+        name="feedback-controller",
+        metaload="IRD + IWR",
+        mdsload=MDSLOAD_ALL,
+        when=when,
+        where=where,
+        howmuch=("big_small", "half"),
+        min_unit_load=1e-4,
+    )

@@ -1,0 +1,81 @@
+"""Fill & Spill balancer (paper §4.2, Listing 3).
+
+A LARD-style policy: fill the first MDS up to a known capacity, and only
+spill a slice of load when it has been overloaded for 3 straight
+iterations.  The capacity threshold (48 % CPU) comes from the paper's
+single-MDS scaling study: 3 clients put the MDS at about 48 % utilisation,
+and 5+ clients clearly overload it (§2.2.3, Fig 5).
+
+Paper Listing 3 (verbatim)::
+
+    -- When policy
+    wait=RDState(); go = 0;
+    if MDSs[whoami]["cpu"]>48 then
+      if wait>0 then WRState(wait-1)
+      else WRState(2); go=1; end
+    else WRState(2) end
+    if go==1 then
+    -- Where policy
+    targets[whoami+1] = MDSs[whoami]["load"]/4
+
+Cosmetic differences here: ``RDstate()`` starts as ``nil`` so we default it
+with ``or 0``; the final ``go`` is converted to a boolean (in Lua ``0`` is
+truthy, so Mantle's driver keys on ``go = (go==1)``); and the neighbour
+index is guarded against running off the cluster.
+"""
+
+from __future__ import annotations
+
+from ..api import MantlePolicy
+
+METALOAD = "IRD + IWR"
+MDSLOAD = 'MDSs[i]["all"]'
+
+#: §4.2: the CPU utilisation of an MDS serving 3 clients -- the "fill"
+#: level beyond which this balancer starts spilling.
+CPU_THRESHOLD = 48.0
+#: §4.2: the balancer waits 3 straight overloaded iterations before
+#: spilling again (WRstate(2) = 2 more ticks of waiting).
+PATIENCE = 2
+#: §4.2: "spilling 25% of the load has the best performance".
+DEFAULT_SPILL_FRACTION = 0.25
+
+_WHEN_TEMPLATE = """
+-- Listing 3 "when": spill only after {patience_plus_one} straight
+-- overloaded iterations (CPU > {cpu}%).  The state slot starts at the
+-- full patience so the very first hot tick never spills.
+wait = RDstate() or {patience}
+go = 0
+if MDSs[whoami]["cpu"] > {cpu} then
+  if wait > 0 then WRstate(wait-1)
+  else WRstate({patience}); go = 1 end
+else WRstate({patience}) end
+go = (go == 1) and MDSs[whoami+1] ~= nil
+"""
+
+_WHERE_TEMPLATE = """
+-- Listing 3 "where": spill a fixed fraction to the next rank.
+targets[whoami+1] = MDSs[whoami]["load"] * {fraction}
+"""
+
+
+def fill_spill_policy(spill_fraction: float = DEFAULT_SPILL_FRACTION,
+                      cpu_threshold: float = CPU_THRESHOLD,
+                      patience: int = PATIENCE) -> MantlePolicy:
+    """Listing 3, parameterised by spill fraction for the §4.2 sweep."""
+    if not 0 < spill_fraction <= 1:
+        raise ValueError("spill_fraction must be in (0, 1]")
+    when = _WHEN_TEMPLATE.format(
+        cpu=cpu_threshold, patience=patience,
+        patience_plus_one=patience + 1,
+    )
+    where = _WHERE_TEMPLATE.format(fraction=spill_fraction)
+    return MantlePolicy(
+        name=f"fill-and-spill-{int(spill_fraction * 100)}pct",
+        metaload=METALOAD,
+        mdsload=MDSLOAD,
+        when=when,
+        where=where,
+        howmuch=("small_first",),
+        min_unit_load=1e-4,
+    )

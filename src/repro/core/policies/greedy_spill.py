@@ -1,0 +1,91 @@
+"""Greedy Spill balancers (paper §4.1, Listings 1 and 2).
+
+Aggressively sheds half the load to a neighbour as soon as there is any --
+the Mantle rendering of GIGA+'s uniform hashing strategy.  The paper runs
+it with 4 clients creating files in one shared directory over up to 4 MDS
+ranks.
+
+Paper Listing 1 (verbatim)::
+
+    -- Metadata load
+    metaload = IWR
+    -- Metadata server load
+    mdsload = MDSs[i]["all"]
+    -- When policy
+    if MDSs[whoami]["load"]>.01 and
+       MDSs[whoami+1]["load"]<.01 then
+    -- Where policy
+    targets[whoami+1]=allmetaload/2
+    -- Howmuch policy
+    {"half"}
+
+Our rendering differs only cosmetically: the ``when`` condition guards
+``MDSs[whoami+1]`` against ``nil`` (the last rank has no right-hand
+neighbour; Lua would raise "attempt to index a nil value", which Mantle
+would swallow as a failed tick -- guarding keeps the tick clean), and the
+condition assigns ``go`` instead of being an unterminated ``if`` header.
+"""
+
+from __future__ import annotations
+
+from ..api import MantlePolicy
+
+METALOAD = "IWR"
+MDSLOAD = 'MDSs[i]["all"]'
+
+#: The spill threshold from Listing 1: any load above this is worth
+#: spilling, any neighbour below it counts as idle.
+THRESHOLD = 0.01
+
+WHEN = f"""
+-- Listing 1 "when": spill if I have load and my right neighbour is idle.
+go = MDSs[whoami+1] ~= nil
+     and MDSs[whoami]["load"]>{THRESHOLD}
+     and MDSs[whoami+1]["load"]<{THRESHOLD}
+"""
+
+WHERE = """
+-- Listing 1 "where": send half my metadata load to the next rank.
+targets[whoami+1] = allmetaload/2
+"""
+
+WHEN_EVEN = f"""
+-- Listing 2 "when": search the far half of the cluster for an idle rank.
+t = math.floor((#MDSs-whoami+1)/2)+whoami
+if t > #MDSs then t = whoami end
+while t ~= whoami and MDSs[t]["load"] >= {THRESHOLD} do t = t-1 end
+go = t ~= whoami
+     and MDSs[whoami]["load"]>{THRESHOLD}
+     and MDSs[t]["load"]<{THRESHOLD}
+"""
+
+WHERE_EVEN = """
+-- Listing 2 "where": send half my load to the rank found by "when".
+targets[t] = MDSs[whoami]["load"]/2
+"""
+
+
+def greedy_spill_policy() -> MantlePolicy:
+    """Listing 1: spill half to the next rank (uneven for >2 ranks)."""
+    return MantlePolicy(
+        name="greedy-spill",
+        metaload=METALOAD,
+        mdsload=MDSLOAD,
+        when=WHEN,
+        where=WHERE,
+        howmuch=("half",),
+        min_unit_load=1e-4,
+    )
+
+
+def greedy_spill_even_policy() -> MantlePolicy:
+    """Listing 2: binary-search the cluster so load splits evenly."""
+    return MantlePolicy(
+        name="greedy-spill-even",
+        metaload=METALOAD,
+        mdsload=MDSLOAD,
+        when=WHEN_EVEN,
+        where=WHERE_EVEN,
+        howmuch=("half",),
+        min_unit_load=1e-4,
+    )

@@ -1,0 +1,96 @@
+"""The original CephFS balancer, expressed as a Mantle policy (Table 1).
+
+Hard-coded CephFS policy, verbatim from the paper:
+
+==============  ============================================================
+metaload        inode reads + 2*(inode writes) + read dirs + 2*fetches
+                + 4*stores
+MDSload         0.8*(metaload on auth) + 0.2*(metaload on all)
+                + request rate + 10*(queue length)
+when            if my load > (total load)/#MDSs
+where           for each MDS: if load > target add to exporters else
+                importers; match large importers to large exporters
+how-much        while load already sent < target load: export largest
+                dirfrag (``big_first``), with the target scaled by
+                mds_bal_need_min = 0.8 to tolerate measurement noise
+==============  ============================================================
+"""
+
+from __future__ import annotations
+
+from ..api import CEPHFS_MDSLOAD, CEPHFS_METALOAD, MantlePolicy
+
+#: mds_bal_need_min: the original balancer scales its target by 0.8, which
+#: is why it shipped only 3 of 8 hot dirfrags in the §2.2.3 example.
+NEED_MIN = 0.8
+
+WHEN = """
+-- Table 1 "when": migrate if my load exceeds the cluster average.
+go = MDSs[whoami]["load"] > total/#MDSs
+"""
+
+WHERE = """
+-- Table 1 "where": partition the cluster into exporters and importers and
+-- assign every importer a target that would even the cluster out.  Note:
+-- like the original, each exporter computes these targets independently
+-- and does NOT cap them by its own surplus -- concurrent exporters can
+-- therefore over-commit, which is one source of the non-reproducible
+-- behaviour Fig 4 documents.
+targetLoad = total/#MDSs
+for i=1,#MDSs do
+  if i ~= whoami and MDSs[i]["load"] < targetLoad then
+    targets[i] = targetLoad - MDSs[i]["load"]
+  end
+end
+"""
+
+WHERE_CAPPED = """
+-- A stabilised variant of the Table 1 "where": targets are scaled down so
+-- their sum never exceeds this rank's surplus.  Useful as a Mantle policy
+-- experiment: one injectable change that removes the over-commit source of
+-- Fig 4's variance.
+targetLoad = total/#MDSs
+mySurplus = MDSs[whoami]["load"] - targetLoad
+need = 0
+for i=1,#MDSs do
+  if i ~= whoami and MDSs[i]["load"] < targetLoad then
+    targets[i] = targetLoad - MDSs[i]["load"]
+    need = need + targets[i]
+  end
+end
+if need > mySurplus and need > 0 then
+  for i=1,#MDSs do
+    if targets[i] then
+      targets[i] = targets[i] * mySurplus / need
+    end
+  end
+end
+"""
+
+
+def original_policy(need_min: float = NEED_MIN) -> MantlePolicy:
+    """The CephFS adaptable load sharing policy (paper Table 1)."""
+    return MantlePolicy(
+        name="cephfs-original",
+        metaload=CEPHFS_METALOAD,
+        mdsload=CEPHFS_MDSLOAD,
+        when=WHEN,
+        where=WHERE,
+        howmuch=("big_first",),
+        need_min_factor=need_min,
+        min_unit_load=0.01,
+    )
+
+
+def original_capped_policy(need_min: float = NEED_MIN) -> MantlePolicy:
+    """Table 1 with surplus-capped targets (a stabilised variant)."""
+    return MantlePolicy(
+        name="cephfs-original-capped",
+        metaload=CEPHFS_METALOAD,
+        mdsload=CEPHFS_MDSLOAD,
+        when=WHEN,
+        where=WHERE_CAPPED,
+        howmuch=("big_first",),
+        need_min_factor=need_min,
+        min_unit_load=0.01,
+    )

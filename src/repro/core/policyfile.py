@@ -1,0 +1,134 @@
+"""Load Mantle policies from ``.lua`` policy files.
+
+A policy file is plain Lua with section markers, mirroring how the paper's
+listings are presented (and how upstream Ceph ended up shipping balancers
+as single Lua files)::
+
+    -- @name my-balancer
+    -- @metaload
+    IWR + IRD
+    -- @mdsload
+    MDSs[i]["all"]
+    -- @when
+    go = MDSs[whoami]["load"] > total/#MDSs
+    -- @where
+    targets[whoami+1] = MDSs[whoami]["load"]/2
+    -- @howmuch
+    big_first, big_small
+
+Unknown sections are rejected; ``@name`` and ``@howmuch`` take their value
+from the marker line / section body text rather than Lua source.  Optional
+scalar tweaks: ``-- @need_min 0.8``, ``-- @min_unit_load 0.01``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .api import MantlePolicy
+
+_MARKER = re.compile(r"^\s*--\s*@(\w+)\s*(.*)$")
+
+_HOOK_SECTIONS = {"metaload", "mdsload", "when", "where", "howmuch"}
+_SCALAR_MARKERS = {"name", "need_min", "min_unit_load", "max_overshoot"}
+
+
+class PolicyFileError(ValueError):
+    """Malformed policy file."""
+
+
+def parse_policy_source(text: str, name: str = "unnamed") -> MantlePolicy:
+    """Parse the sectioned policy format from a string."""
+    sections: dict[str, list[str]] = {}
+    scalars: dict[str, str] = {}
+    current: str | None = None
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        match = _MARKER.match(line)
+        if match:
+            key, rest = match.group(1), match.group(2).strip()
+            if key in _SCALAR_MARKERS:
+                if not rest:
+                    raise PolicyFileError(
+                        f"line {line_number}: @{key} needs a value"
+                    )
+                scalars[key] = rest
+                continue
+            if key not in _HOOK_SECTIONS:
+                raise PolicyFileError(
+                    f"line {line_number}: unknown section @{key}"
+                )
+            if key in sections:
+                raise PolicyFileError(
+                    f"line {line_number}: duplicate section @{key}"
+                )
+            current = key
+            sections[current] = []
+            if rest:
+                sections[current].append(rest)
+            continue
+        if current is not None:
+            sections[current].append(line)
+
+    missing = {"when", "where"} - sections.keys()
+    if missing:
+        raise PolicyFileError(
+            f"policy file lacks required section(s): {sorted(missing)}"
+        )
+
+    def body(key: str, default: str = "") -> str:
+        return "\n".join(sections.get(key, [default])).strip() or default
+
+    howmuch_text = body("howmuch", "big_first")
+    howmuch = tuple(
+        token.strip() for token in re.split(r"[,\s]+", howmuch_text)
+        if token.strip()
+    )
+
+    kwargs = {}
+    if "need_min" in scalars:
+        kwargs["need_min_factor"] = float(scalars["need_min"])
+    if "min_unit_load" in scalars:
+        kwargs["min_unit_load"] = float(scalars["min_unit_load"])
+    if "max_overshoot" in scalars:
+        kwargs["max_overshoot"] = float(scalars["max_overshoot"])
+
+    policy = MantlePolicy(
+        name=scalars.get("name", name),
+        metaload=body("metaload", "IRD + 2*IWR + READDIR + 2*FETCH "
+                                  "+ 4*STORE"),
+        mdsload=body("mdsload",
+                     '0.8*MDSs[i]["auth"] + 0.2*MDSs[i]["all"]'
+                     ' + MDSs[i]["req"] + 10*MDSs[i]["q"]'),
+        when=body("when"),
+        where=body("where"),
+        howmuch=howmuch,
+        **kwargs,
+    )
+    return policy
+
+
+def load_policy_file(path: str | Path) -> MantlePolicy:
+    """Read and parse a ``.lua`` policy file."""
+    path = Path(path)
+    return parse_policy_source(path.read_text(), name=path.stem)
+
+
+def dump_policy(policy: MantlePolicy) -> str:
+    """Serialise a policy back into the sectioned file format."""
+    parts = [
+        f"-- @name {policy.name}",
+        f"-- @need_min {policy.need_min_factor}",
+        f"-- @min_unit_load {policy.min_unit_load}",
+        "-- @metaload",
+        policy.metaload.strip(),
+        "-- @mdsload",
+        policy.mdsload.strip(),
+        "-- @when",
+        policy.when.strip(),
+        "-- @where",
+        policy.where.strip(),
+        "-- @howmuch",
+        ", ".join(policy.howmuch),
+    ]
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,82 @@
+"""Persistent balancer state: the ``WRstate``/``RDstate`` functions.
+
+Paper §3.1: "The WRstate and RDstate functions help the balancer 'remember'
+decisions from the past... These are implemented using temporary files but
+future work will store them in RADOS objects."  We keep the state in an
+in-process store keyed by MDS rank -- same semantics (one scalar per rank,
+survives across balancing ticks), without the filesystem detour.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class BalancerState:
+    """One scalar slot per MDS rank, persisted across ticks."""
+
+    def __init__(self) -> None:
+        self._slots: dict[int, Any] = {}
+        self.writes = 0
+        self.reads = 0
+
+    def write(self, rank: int, value: Any) -> None:
+        self.writes += 1
+        self._slots[rank] = value
+
+    def read(self, rank: int) -> Any:
+        self.reads += 1
+        return self._slots.get(rank)
+
+    def clear(self, rank: int | None = None) -> None:
+        if rank is None:
+            self._slots.clear()
+        else:
+            self._slots.pop(rank, None)
+
+    def bound_functions(self, rank: int):
+        """(WRstate, RDstate) callables bound to *rank* for the Lua env."""
+
+        def wrstate(value: Any = None) -> None:
+            self.write(rank, value)
+
+        def rdstate() -> Any:
+            return self.read(rank)
+
+        return wrstate, rdstate
+
+
+class RadosBalancerState(BalancerState):
+    """Balancer state persisted in RADOS objects.
+
+    Paper §3.1: WRstate/RDstate "are implemented using temporary files but
+    future work will store them in RADOS objects to improve scalability."
+    This store writes each slot through to a per-rank RADOS object
+    (asynchronously -- balancing ticks never block on the write) and can
+    recover slots from RADOS after a restart.
+    """
+
+    def __init__(self, rados, prefix: str = "mantle.state") -> None:
+        super().__init__()
+        self.rados = rados
+        self.prefix = prefix
+        self.rados_writes = 0
+
+    def _object_name(self, rank: int) -> str:
+        return f"{self.prefix}.mds{rank}"
+
+    def write(self, rank: int, value: Any) -> None:
+        super().write(rank, value)
+        self.rados_writes += 1
+        self.rados.put_payload(self._object_name(rank), value)
+
+    def recover(self, rank: int) -> Any:
+        """Reload a slot from RADOS (e.g. after an MDS restart)."""
+        value = self.rados.get_payload(self._object_name(rank))
+        if value is not None:
+            self._slots[rank] = value
+        return value
+
+    def recover_all(self, num_ranks: int) -> None:
+        for rank in range(num_ranks):
+            self.recover(rank)

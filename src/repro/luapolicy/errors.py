@@ -1,0 +1,45 @@
+"""Errors raised by the Mantle-Lua policy interpreter.
+
+Every failure mode of injected policy code maps to one of these exception
+types so the balancer driver (and the pre-injection validator) can reject a
+bad policy without taking the MDS down -- the safety property §4.4 of the
+paper asks for.
+"""
+
+from __future__ import annotations
+
+
+class LuaError(Exception):
+    """Base class for all Mantle-Lua errors."""
+
+
+class LuaSyntaxError(LuaError):
+    """Raised by the lexer or parser on malformed policy source."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class LuaRuntimeError(LuaError):
+    """Raised while executing policy code (type errors, bad indexing...)."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"{message} (line {line})"
+        super().__init__(message)
+        self.line = line
+
+
+class LuaBudgetExceeded(LuaError):
+    """The instruction budget ran out.
+
+    This is what stops an injected ``while 1 do end`` from wedging the MDS:
+    the interpreter charges every evaluated node against a finite budget and
+    aborts the balancing tick when it is spent.
+    """
+
+    def __init__(self, budget: int) -> None:
+        super().__init__(f"policy exceeded instruction budget of {budget}")
+        self.budget = budget

@@ -1,0 +1,415 @@
+"""Recursive-descent parser for the Mantle-Lua policy language.
+
+Grammar is the Lua 5.1 statement/expression grammar restricted to the
+constructs balancer policies need.  Operator precedence follows the Lua
+reference manual; ``..`` and ``^`` are right-associative.
+"""
+
+from __future__ import annotations
+
+from . import lua_ast as ast
+from .errors import LuaSyntaxError
+from .lexer import Token, tokenize
+
+# Binary operator precedence (higher binds tighter), per the Lua manual.
+_BINARY_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "<": 3, ">": 3, "<=": 3, ">=": 3, "~=": 3, "==": 3,
+    "..": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+    "^": 8,
+}
+_RIGHT_ASSOCIATIVE = {"..", "^"}
+_UNARY_PRECEDENCE = 7
+
+# Tokens that terminate a block.
+_BLOCK_TERMINATORS = {"end", "else", "elseif", "until"}
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # -- token stream helpers -------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, value: str | None = None) -> bool:
+        token = self._current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def _match(self, kind: str, value: str | None = None) -> Token | None:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        if not self._check(kind, value):
+            want = value or kind
+            got = self._current.value or self._current.kind
+            raise LuaSyntaxError(
+                f"expected {want!r}, got {got!r}",
+                self._current.line,
+                self._current.column,
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> LuaSyntaxError:
+        return LuaSyntaxError(message, self._current.line, self._current.column)
+
+    # -- entry points -----------------------------------------------------
+    def parse_chunk(self) -> ast.Block:
+        block = self._parse_block()
+        if self._current.kind != "eof":
+            raise self._error(f"unexpected {self._current.value!r} after chunk")
+        return block
+
+    def parse_expression(self) -> ast.Expr:
+        expr = self._parse_expr()
+        if self._current.kind != "eof":
+            raise self._error(
+                f"unexpected {self._current.value!r} after expression"
+            )
+        return expr
+
+    # -- statements ---------------------------------------------------------
+    def _parse_block(self) -> ast.Block:
+        statements: list[ast.Stmt] = []
+        while True:
+            while self._match("symbol", ";"):
+                pass
+            token = self._current
+            if token.kind == "eof":
+                break
+            if token.kind == "keyword" and token.value in _BLOCK_TERMINATORS:
+                break
+            stmt = self._parse_statement()
+            statements.append(stmt)
+            if isinstance(stmt, (ast.Return, ast.Break)):
+                while self._match("symbol", ";"):
+                    pass
+                break
+        return ast.Block(tuple(statements))
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._current
+        if token.kind == "keyword":
+            handler = {
+                "if": self._parse_if,
+                "while": self._parse_while,
+                "repeat": self._parse_repeat,
+                "for": self._parse_for,
+                "local": self._parse_local,
+                "function": self._parse_function_decl,
+                "return": self._parse_return,
+                "break": self._parse_break,
+                "do": self._parse_do,
+            }.get(token.value)
+            if handler is None:
+                raise self._error(f"unexpected keyword {token.value!r}")
+            return handler()
+        return self._parse_expr_statement()
+
+    def _parse_if(self) -> ast.If:
+        line = self._expect("keyword", "if").line
+        branches: list[tuple[ast.Expr, ast.Block]] = []
+        condition = self._parse_expr()
+        self._expect("keyword", "then")
+        branches.append((condition, self._parse_block()))
+        orelse = ast.Block()
+        while True:
+            if self._match("keyword", "elseif"):
+                condition = self._parse_expr()
+                self._expect("keyword", "then")
+                branches.append((condition, self._parse_block()))
+            elif self._match("keyword", "else"):
+                orelse = self._parse_block()
+                self._expect("keyword", "end")
+                break
+            else:
+                self._expect("keyword", "end")
+                break
+        return ast.If(line, tuple(branches), orelse)
+
+    def _parse_while(self) -> ast.While:
+        line = self._expect("keyword", "while").line
+        condition = self._parse_expr()
+        self._expect("keyword", "do")
+        body = self._parse_block()
+        self._expect("keyword", "end")
+        return ast.While(line, condition, body)
+
+    def _parse_repeat(self) -> ast.Repeat:
+        line = self._expect("keyword", "repeat").line
+        body = self._parse_block()
+        self._expect("keyword", "until")
+        condition = self._parse_expr()
+        return ast.Repeat(line, body, condition)
+
+    def _parse_for(self) -> ast.Stmt:
+        line = self._expect("keyword", "for").line
+        first = self._expect("name").value
+        if self._match("symbol", "="):
+            start = self._parse_expr()
+            self._expect("symbol", ",")
+            stop = self._parse_expr()
+            step = self._parse_expr() if self._match("symbol", ",") else None
+            self._expect("keyword", "do")
+            body = self._parse_block()
+            self._expect("keyword", "end")
+            return ast.NumericFor(line, first, start, stop, step, body)
+        names = [first]
+        while self._match("symbol", ","):
+            names.append(self._expect("name").value)
+        self._expect("keyword", "in")
+        iterable = self._parse_expr()
+        self._expect("keyword", "do")
+        body = self._parse_block()
+        self._expect("keyword", "end")
+        return ast.GenericFor(line, tuple(names), iterable, body)
+
+    def _parse_local(self) -> ast.Stmt:
+        line = self._expect("keyword", "local").line
+        if self._check("keyword", "function"):
+            self._advance()
+            name = self._expect("name").value
+            func = self._parse_function_body(line)
+            return ast.FunctionDecl(line, name, func, is_local=True)
+        names = [self._expect("name").value]
+        while self._match("symbol", ","):
+            names.append(self._expect("name").value)
+        values: tuple[ast.Expr, ...] = ()
+        if self._match("symbol", "="):
+            values = tuple(self._parse_expr_list())
+        return ast.LocalAssign(line, tuple(names), values)
+
+    def _parse_function_decl(self) -> ast.FunctionDecl:
+        line = self._expect("keyword", "function").line
+        name = self._expect("name").value
+        if self._check("symbol", ".") or self._check("symbol", ":"):
+            raise self._error("method definitions are not supported in policies")
+        func = self._parse_function_body(line)
+        return ast.FunctionDecl(line, name, func, is_local=False)
+
+    def _parse_function_body(self, line: int) -> ast.FunctionExpr:
+        self._expect("symbol", "(")
+        params: list[str] = []
+        if not self._check("symbol", ")"):
+            while True:
+                if self._match("symbol", "..."):
+                    raise self._error("varargs are not supported in policies")
+                params.append(self._expect("name").value)
+                if not self._match("symbol", ","):
+                    break
+        self._expect("symbol", ")")
+        body = self._parse_block()
+        self._expect("keyword", "end")
+        return ast.FunctionExpr(line, tuple(params), body)
+
+    def _parse_return(self) -> ast.Return:
+        line = self._expect("keyword", "return").line
+        values: tuple[ast.Expr, ...] = ()
+        token = self._current
+        ends_block = (
+            token.kind == "eof"
+            or (token.kind == "keyword" and token.value in _BLOCK_TERMINATORS)
+            or (token.kind == "symbol" and token.value == ";")
+        )
+        if not ends_block:
+            values = tuple(self._parse_expr_list())
+        return ast.Return(line, values)
+
+    def _parse_break(self) -> ast.Break:
+        line = self._expect("keyword", "break").line
+        return ast.Break(line)
+
+    def _parse_do(self) -> ast.Do:
+        line = self._expect("keyword", "do").line
+        body = self._parse_block()
+        self._expect("keyword", "end")
+        return ast.Do(line, body)
+
+    def _parse_expr_statement(self) -> ast.Stmt:
+        line = self._current.line
+        expr = self._parse_prefix_expr()
+        if self._check("symbol", "=") or self._check("symbol", ","):
+            targets = [expr]
+            while self._match("symbol", ","):
+                targets.append(self._parse_prefix_expr())
+            self._expect("symbol", "=")
+            values = self._parse_expr_list()
+            for target in targets:
+                if not isinstance(target, (ast.Name, ast.Index)):
+                    raise self._error("cannot assign to this expression")
+            return ast.Assign(line, tuple(targets), tuple(values))
+        if isinstance(expr, ast.Call):
+            return ast.CallStmt(line, expr)
+        raise self._error("expression is not a statement (call it or assign it)")
+
+    def _parse_expr_list(self) -> list[ast.Expr]:
+        exprs = [self._parse_expr()]
+        while self._match("symbol", ","):
+            exprs.append(self._parse_expr())
+        return exprs
+
+    # -- expressions ---------------------------------------------------------
+    def _parse_expr(self, min_precedence: int = 1) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._current
+            op = token.value
+            if token.kind == "keyword" and op in ("and", "or"):
+                pass
+            elif token.kind == "symbol" and op in _BINARY_PRECEDENCE:
+                pass
+            else:
+                break
+            precedence = _BINARY_PRECEDENCE[op]
+            if precedence < min_precedence:
+                break
+            self._advance()
+            next_min = precedence if op in _RIGHT_ASSOCIATIVE else precedence + 1
+            right = self._parse_expr(next_min)
+            left = ast.BinaryOp(token.line, op, left, right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._current
+        if (token.kind == "symbol" and token.value in ("-", "#")) or (
+            token.kind == "keyword" and token.value == "not"
+        ):
+            self._advance()
+            operand = self._parse_expr(_UNARY_PRECEDENCE)
+            return ast.UnaryOp(token.line, token.value, operand)
+        return self._parse_power()
+
+    def _parse_power(self) -> ast.Expr:
+        base = self._parse_primary()
+        if self._check("symbol", "^"):
+            token = self._advance()
+            # '^' binds tighter than unary on its right: 2^-3 is 2^(-3).
+            exponent = self._parse_unary()
+            return ast.BinaryOp(token.line, "^", base, exponent)
+        return base
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            text = token.value
+            value = float(int(text, 16)) if text.lower().startswith("0x") else float(text)
+            return ast.NumberLiteral(token.line, value)
+        if token.kind == "string":
+            self._advance()
+            return ast.StringLiteral(token.line, token.value)
+        if token.kind == "keyword":
+            if token.value == "nil":
+                self._advance()
+                return ast.NilLiteral(token.line)
+            if token.value in ("true", "false"):
+                self._advance()
+                return ast.BoolLiteral(token.line, token.value == "true")
+            if token.value == "function":
+                self._advance()
+                return self._parse_function_body(token.line)
+        if token.kind == "symbol" and token.value == "{":
+            return self._parse_table()
+        if token.kind == "symbol" and token.value == "...":
+            self._advance()
+            return ast.Vararg(token.line)
+        return self._parse_prefix_expr()
+
+    def _parse_prefix_expr(self) -> ast.Expr:
+        token = self._current
+        expr: ast.Expr
+        if token.kind == "name":
+            self._advance()
+            expr = ast.Name(token.line, token.value)
+        elif self._match("symbol", "("):
+            expr = self._parse_expr()
+            self._expect("symbol", ")")
+        else:
+            raise self._error(f"unexpected {token.value or token.kind!r}")
+        # Suffixes: indexing, field access, calls.
+        while True:
+            token = self._current
+            if self._match("symbol", "["):
+                key = self._parse_expr()
+                self._expect("symbol", "]")
+                expr = ast.Index(token.line, expr, key)
+            elif self._match("symbol", "."):
+                name = self._expect("name")
+                expr = ast.Index(
+                    token.line, expr, ast.StringLiteral(name.line, name.value)
+                )
+            elif self._check("symbol", "("):
+                expr = self._parse_call(expr)
+            elif self._check("string") or self._check("symbol", "{"):
+                # Lua sugar: f"arg" / f{table}
+                arg: ast.Expr
+                if self._check("string"):
+                    stoken = self._advance()
+                    arg = ast.StringLiteral(stoken.line, stoken.value)
+                else:
+                    arg = self._parse_table()
+                expr = ast.Call(token.line, expr, (arg,))
+            elif self._check("symbol", ":"):
+                raise self._error("method calls are not supported in policies")
+            else:
+                return expr
+
+    def _parse_call(self, func: ast.Expr) -> ast.Call:
+        token = self._expect("symbol", "(")
+        args: list[ast.Expr] = []
+        if not self._check("symbol", ")"):
+            args = self._parse_expr_list()
+        self._expect("symbol", ")")
+        return ast.Call(token.line, func, tuple(args))
+
+    def _parse_table(self) -> ast.TableConstructor:
+        token = self._expect("symbol", "{")
+        fields: list[ast.TableField] = []
+        while not self._check("symbol", "}"):
+            if self._match("symbol", "["):
+                key = self._parse_expr()
+                self._expect("symbol", "]")
+                self._expect("symbol", "=")
+                value = self._parse_expr()
+                fields.append(ast.TableField(key, value))
+            elif (
+                self._check("name")
+                and self._tokens[self._pos + 1].kind == "symbol"
+                and self._tokens[self._pos + 1].value == "="
+            ):
+                name = self._advance()
+                self._advance()  # '='
+                value = self._parse_expr()
+                fields.append(
+                    ast.TableField(ast.StringLiteral(name.line, name.value), value)
+                )
+            else:
+                fields.append(ast.TableField(None, self._parse_expr()))
+            if not (self._match("symbol", ",") or self._match("symbol", ";")):
+                break
+        self._expect("symbol", "}")
+        return ast.TableConstructor(token.line, tuple(fields))
+
+
+def parse_chunk(source: str) -> ast.Block:
+    """Parse a sequence of statements (a policy chunk)."""
+    return Parser(source).parse_chunk()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a single expression (e.g. a metaload formula)."""
+    return Parser(source).parse_expression()

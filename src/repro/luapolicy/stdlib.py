@@ -1,0 +1,360 @@
+"""Builtin functions available to Mantle-Lua policies.
+
+The Mantle environment (paper Table 2) only guarantees ``max``, ``min``,
+``WRstate`` and ``RDstate`` -- the last two are installed by the balancer
+driver.  We additionally expose the safe, side-effect-free slice of the Lua
+standard library that real Mantle policies in upstream Ceph ended up using
+(``math.*``, ``tostring``, ``tonumber``, ``pairs``/``ipairs``...).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from .errors import LuaRuntimeError
+from .interpreter import Environment
+from .values import (
+    LuaTable,
+    LuaValue,
+    MultiValue,
+    is_truthy,
+    lua_repr,
+    type_name,
+)
+
+
+def _want_number(name: str, value: LuaValue) -> float:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            pass
+    raise LuaRuntimeError(f"bad argument to '{name}' (number expected, "
+                          f"got {type_name(value)})")
+
+
+def lua_max(*args: LuaValue) -> float:
+    if not args:
+        raise LuaRuntimeError("bad argument to 'max' (value expected)")
+    return max(_want_number("max", a) for a in args)
+
+
+def lua_min(*args: LuaValue) -> float:
+    if not args:
+        raise LuaRuntimeError("bad argument to 'min' (value expected)")
+    return min(_want_number("min", a) for a in args)
+
+
+def lua_tostring(value: LuaValue = None) -> str:
+    return lua_repr(value)
+
+
+def lua_tonumber(value: LuaValue = None) -> float | None:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return None
+    return None
+
+
+def lua_pairs(table: LuaValue = None) -> Iterator[tuple[LuaValue, LuaValue]]:
+    if not isinstance(table, LuaTable):
+        raise LuaRuntimeError(
+            f"bad argument to 'pairs' (table expected, got {type_name(table)})"
+        )
+    return table.lua_pairs()
+
+
+def lua_ipairs(table: LuaValue = None) -> Iterator[tuple[float, LuaValue]]:
+    if not isinstance(table, LuaTable):
+        raise LuaRuntimeError(
+            f"bad argument to 'ipairs' (table expected, got {type_name(table)})"
+        )
+    return table.lua_ipairs()
+
+
+def lua_type(value: LuaValue = None) -> str:
+    return type_name(value)
+
+
+def lua_assert(value: LuaValue = None, message: LuaValue = None) -> LuaValue:
+    if not is_truthy(value):
+        raise LuaRuntimeError(str(message) if message is not None
+                              else "assertion failed!")
+    return value
+
+
+def lua_error(message: LuaValue = None) -> None:
+    raise LuaRuntimeError(lua_repr(message))
+
+
+def _math_table() -> LuaTable:
+    table = LuaTable()
+    one_arg = {
+        "floor": lambda x: float(math.floor(x)),
+        "ceil": lambda x: float(math.ceil(x)),
+        "abs": abs,
+        "sqrt": math.sqrt,
+        "exp": math.exp,
+        "log": math.log,
+        "sin": math.sin,
+        "cos": math.cos,
+        "tan": math.tan,
+    }
+    for name, fn in one_arg.items():
+        def wrapper(x: LuaValue = None, _fn=fn, _name=name) -> float:
+            return float(_fn(_want_number(_name, x)))
+        table.set(name, wrapper)
+    table.set("max", lua_max)
+    table.set("min", lua_min)
+    table.set("huge", math.inf)
+    table.set("pi", math.pi)
+
+    def math_pow(x: LuaValue = None, y: LuaValue = None) -> float:
+        return _want_number("pow", x) ** _want_number("pow", y)
+
+    table.set("pow", math_pow)
+
+    def math_fmod(x: LuaValue = None, y: LuaValue = None) -> float:
+        return math.fmod(_want_number("fmod", x), _want_number("fmod", y))
+
+    table.set("fmod", math_fmod)
+    return table
+
+
+def _want_string(name: str, value: LuaValue) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return lua_repr(float(value))
+    raise LuaRuntimeError(f"bad argument to '{name}' (string expected, "
+                          f"got {type_name(value)})")
+
+
+def _want_table(name: str, value: LuaValue) -> LuaTable:
+    if isinstance(value, LuaTable):
+        return value
+    raise LuaRuntimeError(f"bad argument to '{name}' (table expected, "
+                          f"got {type_name(value)})")
+
+
+def _lua_index(i: float | int, length: int) -> int:
+    """Convert a Lua string index (1-based, negative from the end)."""
+    i = int(i)
+    if i < 0:
+        i = length + i + 1
+    return i
+
+
+def _string_table() -> LuaTable:
+    table = LuaTable()
+
+    def s_len(s: LuaValue = None) -> float:
+        return float(len(_want_string("len", s)))
+
+    def s_sub(s: LuaValue = None, i: LuaValue = 1, j: LuaValue = -1) -> str:
+        text = _want_string("sub", s)
+        start = max(1, _lua_index(_want_number("sub", i), len(text)))
+        stop = min(len(text), _lua_index(_want_number("sub", j), len(text)))
+        if start > stop:
+            return ""
+        return text[start - 1:stop]
+
+    def s_upper(s: LuaValue = None) -> str:
+        return _want_string("upper", s).upper()
+
+    def s_lower(s: LuaValue = None) -> str:
+        return _want_string("lower", s).lower()
+
+    def s_rep(s: LuaValue = None, n: LuaValue = 0) -> str:
+        return _want_string("rep", s) * int(_want_number("rep", n))
+
+    def s_reverse(s: LuaValue = None) -> str:
+        return _want_string("reverse", s)[::-1]
+
+    def s_byte(s: LuaValue = None, i: LuaValue = 1) -> float | None:
+        text = _want_string("byte", s)
+        index = _lua_index(_want_number("byte", i), len(text))
+        if 1 <= index <= len(text):
+            return float(ord(text[index - 1]))
+        return None
+
+    def s_char(*codes: LuaValue) -> str:
+        return "".join(chr(int(_want_number("char", c))) for c in codes)
+
+    def s_find(s: LuaValue = None, pattern: LuaValue = None,
+               init: LuaValue = 1, plain: LuaValue = None):
+        """Plain substring find only (Lua patterns are not supported in
+        the sandbox; pass plain=true semantics unconditionally)."""
+        text = _want_string("find", s)
+        needle = _want_string("find", pattern)
+        start = max(1, _lua_index(_want_number("find", init), len(text)))
+        index = text.find(needle, start - 1)
+        if index < 0:
+            return None
+        # Lua returns (start, end); single-value contexts see start.
+        return MultiValue((float(index + 1),
+                           float(index + len(needle))))
+
+    def s_format(fmt: LuaValue = None, *args: LuaValue):
+        template = _want_string("format", fmt)
+        out: list[str] = []
+        arg_index = 0
+        i = 0
+        while i < len(template):
+            ch = template[i]
+            if ch != "%":
+                out.append(ch)
+                i += 1
+                continue
+            # Parse %[flags][width][.precision]spec
+            j = i + 1
+            while j < len(template) and template[j] in "-+ #0123456789.":
+                j += 1
+            if j >= len(template):
+                raise LuaRuntimeError("invalid format string")
+            spec = template[j]
+            body = template[i + 1:j]
+            if spec == "%":
+                out.append("%")
+                i = j + 1
+                continue
+            if arg_index >= len(args):
+                raise LuaRuntimeError(
+                    f"bad argument #{arg_index + 2} to 'format' "
+                    "(no value)"
+                )
+            value = args[arg_index]
+            arg_index += 1
+            if spec in "di":
+                out.append(f"%{body}d" % int(_want_number("format", value)))
+            elif spec in "u":
+                out.append(f"%{body}d" % int(_want_number("format", value)))
+            elif spec in "fFgGeE":
+                out.append(f"%{body}{spec}"
+                           % _want_number("format", value))
+            elif spec in "xX":
+                out.append(f"%{body}{spec}"
+                           % int(_want_number("format", value)))
+            elif spec == "s":
+                out.append(f"%{body}s" % lua_repr(value))
+            elif spec == "q":
+                out.append('"' + str(value).replace("\\", "\\\\")
+                           .replace('"', '\\"') + '"')
+            else:
+                raise LuaRuntimeError(
+                    f"invalid conversion '%{spec}' to 'format'"
+                )
+            i = j + 1
+        return "".join(out)
+
+    for name, fn in (("len", s_len), ("sub", s_sub), ("upper", s_upper),
+                     ("lower", s_lower), ("rep", s_rep),
+                     ("reverse", s_reverse), ("byte", s_byte),
+                     ("char", s_char), ("find", s_find),
+                     ("format", s_format)):
+        table.set(name, fn)
+    return table
+
+
+def _table_table() -> LuaTable:
+    table = LuaTable()
+
+    def t_insert(t: LuaValue = None, a: LuaValue = None,
+                 b: LuaValue = None) -> None:
+        target = _want_table("insert", t)
+        if b is None:
+            target.set(float(target.length() + 1), a)
+            return
+        pos = int(_want_number("insert", a))
+        n = target.length()
+        if not 1 <= pos <= n + 1:
+            raise LuaRuntimeError("bad argument #2 to 'insert' "
+                                  "(position out of bounds)")
+        for index in range(n, pos - 1, -1):
+            target.set(float(index + 1), target.get(index))
+        target.set(float(pos), b)
+
+    def t_remove(t: LuaValue = None, pos: LuaValue = None):
+        target = _want_table("remove", t)
+        n = target.length()
+        if n == 0:
+            return None
+        index = n if pos is None else int(_want_number("remove", pos))
+        if not 1 <= index <= n:
+            raise LuaRuntimeError("bad argument #2 to 'remove' "
+                                  "(position out of bounds)")
+        removed = target.get(index)
+        for i in range(index, n):
+            target.set(float(i), target.get(i + 1))
+        target.set(float(n), None)
+        return removed
+
+    def t_concat(t: LuaValue = None, sep: LuaValue = "",
+                 i: LuaValue = 1, j: LuaValue = None):
+        target = _want_table("concat", t)
+        separator = _want_string("concat", sep) if sep != "" else ""
+        start = int(_want_number("concat", i))
+        stop = target.length() if j is None else int(_want_number("concat",
+                                                                  j))
+        parts = []
+        for index in range(start, stop + 1):
+            value = target.get(index)
+            if not isinstance(value, (str, int, float)) \
+                    or isinstance(value, bool):
+                raise LuaRuntimeError(
+                    f"invalid value (at index {index}) in table for "
+                    "'concat'"
+                )
+            parts.append(lua_repr(float(value))
+                         if isinstance(value, (int, float)) else value)
+        return separator.join(parts)
+
+    def t_sort(t: LuaValue = None, comparator: LuaValue = None) -> None:
+        target = _want_table("sort", t)
+        if comparator is not None:
+            raise LuaRuntimeError(
+                "table.sort comparators are not supported in the sandbox; "
+                "sort plain numbers or strings"
+            )
+        values = target.to_list()
+        try:
+            values.sort()
+        except TypeError as exc:
+            raise LuaRuntimeError(f"attempt to compare mixed types in "
+                                  f"'sort': {exc}") from exc
+        for index, value in enumerate(values, start=1):
+            target.set(float(index), value)
+
+    for name, fn in (("insert", t_insert), ("remove", t_remove),
+                     ("concat", t_concat), ("sort", t_sort)):
+        table.set(name, fn)
+    return table
+
+
+def install_stdlib(env: Environment) -> Environment:
+    """Install the safe builtins into *env* (typically the root scope)."""
+    env.declare("max", lua_max)
+    env.declare("min", lua_min)
+    env.declare("tostring", lua_tostring)
+    env.declare("tonumber", lua_tonumber)
+    env.declare("pairs", lua_pairs)
+    env.declare("ipairs", lua_ipairs)
+    env.declare("type", lua_type)
+    env.declare("assert", lua_assert)
+    env.declare("error", lua_error)
+    env.declare("math", _math_table())
+    env.declare("string", _string_table())
+    env.declare("table", _table_table())
+    return env
+
+
+def new_environment() -> Environment:
+    """Fresh root environment with the stdlib installed."""
+    return install_stdlib(Environment())

@@ -1,0 +1,24 @@
+"""The MDS service: servers, caches, sessions, heartbeats, migration.
+
+These are the *mechanisms* of dynamic subtree partitioning; the injectable
+*policies* that drive them live in :mod:`repro.core`.
+"""
+
+from .cache import InodeCache
+from .heartbeat import HeartBeat, HeartbeatTable
+from .migration import ExportUnit, Migrator
+from .server import FREEZE_RETRY_DELAY, MAX_HOPS, MdsServer
+from .sessions import Session, SessionTable
+
+__all__ = [
+    "ExportUnit",
+    "FREEZE_RETRY_DELAY",
+    "HeartBeat",
+    "HeartbeatTable",
+    "InodeCache",
+    "MAX_HOPS",
+    "MdsServer",
+    "Migrator",
+    "Session",
+    "SessionTable",
+]

@@ -1,0 +1,66 @@
+"""Per-MDS inode cache.
+
+MDS nodes cache inodes and path prefixes so lookups/getattrs resolve
+locally (paper §2, "CephFS's Client-Server Metadata Protocols").  A miss on
+a directory object means fetching it from RADOS (a FETCH, with real
+latency).  Spreading metadata forces every rank to replicate parent-prefix
+inodes, which is one of the memory/communication costs of distribution the
+paper calls out in §2.1.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class InodeCache:
+    """LRU cache of inode numbers held in one MDS's memory."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, ino: int) -> bool:
+        return ino in self._entries
+
+    def touch(self, ino: int) -> bool:
+        """Look up *ino*, inserting it on miss.  Returns True on a hit."""
+        if ino in self._entries:
+            self._entries.move_to_end(ino)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self.insert(ino)
+        return False
+
+    def insert(self, ino: int) -> None:
+        if ino in self._entries:
+            self._entries.move_to_end(ino)
+            return
+        self._entries[ino] = None
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def drop(self, ino: int) -> None:
+        self._entries.pop(ino, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def fill_fraction(self) -> float:
+        return len(self._entries) / self.capacity
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

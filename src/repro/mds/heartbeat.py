@@ -1,0 +1,66 @@
+"""MDS heartbeats.
+
+Every 10 seconds each MDS packages its metrics and sends them to every
+other rank (paper Fig 2, "send HB"/"recv HB").  Heartbeats take time to
+pack, cross the network, and unpack, so every rank balances on a *stale*
+view of the cluster -- the paper blames exactly this staleness for
+non-reproducible balancing (§2.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class HeartBeat:
+    """One rank's metrics snapshot, as shipped to its peers.
+
+    Field names mirror the Mantle environment (paper Table 2):
+    ``auth``/``all`` metadata loads, ``cpu``/``mem`` utilisation, ``q``
+    queue length, ``req`` request rate.
+    """
+
+    rank: int
+    sent_at: float
+    auth_metaload: float
+    all_metaload: float
+    cpu: float        # percent, 0-100
+    mem: float        # percent, 0-100
+    queue_length: float
+    request_rate: float
+    epoch: int = 0
+
+    def as_metrics(self) -> dict[str, float]:
+        return {
+            "auth": self.auth_metaload,
+            "all": self.all_metaload,
+            "cpu": self.cpu,
+            "mem": self.mem,
+            "q": self.queue_length,
+            "req": self.request_rate,
+        }
+
+
+@dataclass
+class HeartbeatTable:
+    """Latest heartbeat received from each rank (including self)."""
+
+    received: dict[int, HeartBeat] = field(default_factory=dict)
+    received_at: dict[int, float] = field(default_factory=dict)
+
+    def store(self, beat: HeartBeat, now: float) -> None:
+        current = self.received.get(beat.rank)
+        if current is None or beat.sent_at >= current.sent_at:
+            self.received[beat.rank] = beat
+            self.received_at[beat.rank] = now
+
+    def get(self, rank: int) -> HeartBeat | None:
+        return self.received.get(rank)
+
+    def staleness(self, rank: int, now: float) -> float:
+        beat = self.received.get(rank)
+        return now - beat.sent_at if beat else float("inf")
+
+    def have_all(self, num_ranks: int) -> bool:
+        return all(rank in self.received for rank in range(num_ranks))

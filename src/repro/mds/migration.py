@@ -1,0 +1,159 @@
+"""Inode migration: the two-phase commit mechanism.
+
+Paper §2, "Migrate": "inode migrations are performed as a two-phase commit,
+where the importer journals metadata, the exporter logs the event, and the
+importer journals the event."  While a unit is in flight it is frozen --
+requests touching it are stalled -- and client sessions with capabilities on
+it are flushed (§4.1), which is where the real cost of a migration comes
+from.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Union
+
+from ..namespace.directory import Directory
+from ..namespace.dirfrag import DirFrag
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import MdsServer
+
+
+class ExportUnit:
+    """Something the balancer can ship: a whole subtree or one dirfrag."""
+
+    def __init__(self, target: Union[Directory, DirFrag]) -> None:
+        self.target = target
+
+    @property
+    def is_subtree(self) -> bool:
+        return isinstance(self.target, Directory)
+
+    def path(self) -> str:
+        return self.target.path()
+
+    def dir_path(self) -> str:
+        """Path of the owning directory (for session-cap matching)."""
+        if self.is_subtree:
+            return self.target.path()
+        return self.target.directory.path()
+
+    def inode_count(self) -> int:
+        if self.is_subtree:
+            return sum(d.entry_count() for d in self.target.walk()) + 1
+        return len(self.target)
+
+    def frags(self) -> Iterator[DirFrag]:
+        if self.is_subtree:
+            for directory in self.target.walk():
+                yield from directory.frags.values()
+        else:
+            yield self.target
+
+    def freeze(self) -> None:
+        for frag in self.frags():
+            frag.frozen = True
+
+    def unfreeze(self) -> None:
+        for frag in self.frags():
+            frag.frozen = False
+
+    def current_auth(self) -> int:
+        if self.is_subtree:
+            return self.target.authority()
+        return self.target.authority()
+
+    def set_auth(self, rank: int) -> None:
+        if self.is_subtree:
+            self.target.set_auth(rank)
+            # The whole subtree now inherits the importer's authority.
+            self.target.clear_descendant_auth()
+        else:
+            self.target.set_auth(rank)
+
+    def load(self, metaload_fn, now: float) -> float:
+        """Policy-defined metadata load of this unit."""
+        if self.is_subtree:
+            return sum(
+                metaload_fn(frag.load_snapshot(now)) for frag in self.frags()
+            )
+        return metaload_fn(self.target.load_snapshot(now))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "subtree" if self.is_subtree else "dirfrag"
+        return f"ExportUnit({kind} {self.path()!r})"
+
+
+class Migrator:
+    """Executes exports from one MDS rank."""
+
+    def __init__(self, mds: "MdsServer") -> None:
+        self.mds = mds
+        self.exports_started = 0
+        self.exports_completed = 0
+        self.inodes_exported = 0
+        self.in_flight = 0
+
+    def export(self, unit: ExportUnit, target_rank: int):
+        """Kick off a two-phase-commit export; returns the process."""
+        if target_rank == self.mds.rank:
+            raise ValueError("cannot export to self")
+        if target_rank < 0 or target_rank >= len(self.mds.peers):
+            raise ValueError(f"no such MDS rank {target_rank}")
+        if any(frag.frozen for frag in unit.frags()):
+            raise RuntimeError(f"{unit!r} is already migrating")
+        self.exports_started += 1
+        self.in_flight += 1
+        return self.mds.engine.process(
+            self._run(unit, target_rank),
+            name=f"export:{unit.path()}->mds{target_rank}",
+        )
+
+    def _run(self, unit: ExportUnit, target_rank: int):
+        mds = self.mds
+        engine = mds.engine
+        config = mds.config
+        importer = mds.peers[target_rank]
+        inodes = unit.inode_count()
+
+        # Phase 0: freeze. Requests hitting the unit now stall (they retry
+        # until the freeze lifts).
+        unit.freeze()
+        try:
+            # Session flushes: every session with caps under the unit, at
+            # both exporter and importer, pays a flush (§4.1 session counts).
+            flushed = mds.sessions.flush_under(unit.dir_path())
+            flushed += importer.sessions.flush_under(unit.dir_path())
+            mds.metrics.session_flushes += flushed
+            stall = flushed * config.session_flush_time
+            if stall > 0:
+                # The coherency work occupies both CPUs.
+                done_local = mds.station.submit(("sessions", unit), stall)
+                done_remote = importer.station.submit(("sessions", unit), stall)
+                yield done_local
+                yield done_remote
+
+            # Phase 1: exporter logs the export intent durably.
+            yield mds.journal.log_sync(
+                "EExport", size=config.migration_inode_bytes * max(1, inodes)
+            )
+            # Importer journals the incoming metadata (the bulk transfer).
+            transfer = (config.migration_base_time
+                        + config.migration_per_inode * inodes)
+            yield engine.timeout(transfer)
+            yield importer.journal.log_sync(
+                "EImport", size=config.migration_inode_bytes * max(1, inodes)
+            )
+
+            # Phase 2: authority flips; importer acks; exporter logs finish.
+            unit.set_auth(target_rank)
+            yield mds.journal.log_sync("EExportFinish")
+        finally:
+            unit.unfreeze()
+            self.in_flight -= 1
+
+        self.exports_completed += 1
+        self.inodes_exported += inodes
+        mds.metrics.migrations += 1
+        mds.metrics.inodes_migrated += inodes
+        importer.metrics.imports += 1

@@ -1,0 +1,478 @@
+"""The metadata server (MDS) rank.
+
+Implements the mechanism side of dynamic subtree partitioning (paper Fig 2):
+request service with a FIFO CPU, path-traversal hits vs. forwards, inode
+caching with RADOS fetches on miss, journalling, directory fragmentation,
+client sessions, heartbeats, and the migration two-phase commit.  All
+*policy* lives in the attached balancer (:mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..clients.ops import MetaReply, MetaRequest, OpKind
+from ..config import ClusterConfig
+from ..metrics.collectors import ClusterMetrics, MdsMetrics
+from ..namespace.counters import LoadCounters
+from ..namespace.directory import Directory
+from ..namespace.tree import Namespace, split_path
+from ..rados.cluster import RadosCluster
+from ..rados.journal import MdsJournal
+from ..sim.engine import Completion, SimEngine
+from ..sim.network import Network
+from ..sim.rng import ServiceTime
+from ..sim.stations import FifoStation
+from .cache import InodeCache
+from .heartbeat import HeartBeat, HeartbeatTable
+from .migration import Migrator
+from .sessions import SessionTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.balancer import MantleBalancer
+
+#: A frozen dirfrag makes requests retry after this long.
+FREEZE_RETRY_DELAY = 0.002
+#: Give up forwarding after this many hops (authority changed under us).
+MAX_HOPS = 16
+
+
+class MdsServer:
+    """One MDS rank."""
+
+    def __init__(self, engine: SimEngine, rank: int,
+                 namespace: Namespace, network: Network,
+                 rados: RadosCluster, config: ClusterConfig,
+                 rng, metrics: ClusterMetrics) -> None:
+        self.engine = engine
+        self.rank = rank
+        self.namespace = namespace
+        self.network = network
+        self.rados = rados
+        self.config = config
+        self.rng = rng
+        self.cluster_metrics = metrics
+        self.metrics: MdsMetrics = metrics.mds(rank)
+        self.station = FifoStation(engine, f"mds{rank}", rng,
+                                   executor=self._execute)
+        self.journal = MdsJournal(engine, rados, rank,
+                                  segment_bytes=config.journal_segment_bytes,
+                                  entry_bytes=config.journal_entry_bytes)
+        self.cache = InodeCache(config.cache_capacity)
+        self.sessions = SessionTable(rank)
+        self.migrator = Migrator(self)
+        self.hb_table = HeartbeatTable()
+        self.peers: list["MdsServer"] = []  # set by the cluster assembly
+        self.balancer: Optional["MantleBalancer"] = None
+        #: Decayed load this rank served as the authority ("auth") and
+        #: touched at all, including forwards ("all") -- Table 2 metrics.
+        self.auth_load = LoadCounters(half_life=config.decay_half_life)
+        self.all_load = LoadCounters(half_life=config.decay_half_life)
+        self._service = {
+            kind: ServiceTime(config.service.mean_for(kind.value),
+                              config.service.cv)
+            for kind in OpKind
+        }
+        self._forward_service = ServiceTime(config.service.forward,
+                                            config.service.cv)
+        self._hb_epoch = 0
+        self._stores_pending: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def receive_request(self, req: MetaRequest, done: Completion,
+                        count_hop: bool = True) -> None:
+        """Entry point for a request arriving over the network."""
+        if count_hop:
+            req.hops.append(self.rank)
+        self.metrics.reqs_in_window += 1
+        service = self._sample_service(req)
+        self.station.submit((req, done), service)
+
+    def _sample_service(self, req: MetaRequest) -> float:
+        """CPU time this request will take at this rank.
+
+        Forwarded requests only cost the recognition/forward slice; local
+        requests cost the op's service time, inflated by the coherency
+        surcharge when the target directory is spread over several ranks.
+        """
+        resolved = self._resolve(req)
+        if resolved is None:
+            return self._forward_service.sample(self.rng)
+        parent, _leaf, frag = resolved
+        if frag is not None and frag.authority() != self.rank:
+            return self._forward_service.sample(self.rng)
+        base = self._service[req.kind].sample(self.rng)
+        if req.kind is OpKind.READDIR:
+            # Service scales gently with directory size.
+            entries = parent.entry_count()
+            base *= 1.0 + min(8.0, entries / 20_000.0)
+        spread = self._effective_spread(parent)
+        if spread > 1.0 and req.kind.is_write:
+            base *= 1.0 + self.config.sync_penalty * (spread - 1.0) ** 0.5
+        return base
+
+    @staticmethod
+    def _effective_spread(directory: Directory) -> float:
+        """Effective number of ranks sharing this directory's dirfrags.
+
+        The inverse participation ratio of per-rank frag shares: 1.0 when
+        one rank owns everything, m when m ranks hold equal shares, and in
+        between for skewed spreads (4/2/1/1 -> ~2.9).  Coherency costs are
+        driven by how evenly the directory is actually spread, not by a
+        raw rank count.
+        """
+        counts: dict[int, int] = {}
+        total = 0
+        for frag in directory.frags.values():
+            rank = frag.authority()
+            counts[rank] = counts.get(rank, 0) + 1
+            total += 1
+        if total == 0 or len(counts) <= 1:
+            return 1.0
+        sum_squares = sum((n / total) ** 2 for n in counts.values())
+        return 1.0 / sum_squares
+
+    def _resolve(self, req: MetaRequest):
+        """(parent directory, leaf name, dirfrag) for the request, or None."""
+        try:
+            if req.kind is OpKind.READDIR:
+                directory = self.namespace.resolve_dir(req.path)
+                return directory, None, next(iter(directory.frags.values()))
+            parts = split_path(req.path)
+            if not parts:
+                directory = self.namespace.root
+                return directory, None, next(iter(directory.frags.values()))
+            parent = self.namespace.resolve_dir("/".join(parts[:-1]))
+            return parent, parts[-1], parent.frag_for_name(parts[-1])
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+
+    def _execute(self, task) -> None:
+        req, done = task
+        if not isinstance(req, MetaRequest):
+            # Internal work (fragmentation, session flushes): the CPU time
+            # was the point; there is nothing to apply.
+            return
+        resolved = self._resolve(req)
+        if resolved is None:
+            self._reply(req, done, error="ENOENT")
+            return
+        parent, leaf, frag = resolved
+        if frag is not None and frag.frozen:
+            # Unit mid-migration: stall and retry (requests queue behind the
+            # two-phase commit, which is the freeze cost clients observe).
+            self.engine.schedule(
+                FREEZE_RETRY_DELAY, self.receive_request, req, done, False
+            )
+            return
+        auth = frag.authority() if frag is not None else self.rank
+        self._record_all_load(req)
+        if auth != self.rank and len(req.hops) < MAX_HOPS:
+            self.metrics.forwards += 1
+            self.network.deliver(self.peers[auth].receive_request, req, done)
+            return
+        self.metrics.traversal_hits += 1
+        self._serve(req, done, parent, leaf)
+
+    # -- local service ---------------------------------------------------
+    def _serve(self, req: MetaRequest, done: Completion,
+               parent: Directory, leaf: Optional[str]) -> None:
+        now = self.engine.now
+        self.sessions.record_request(req.client_id, parent.path(), now)
+        # Mark this rank active along the path: active ranks take part in
+        # each ancestor's coherency and keep their replicas fresh.
+        parent.server_activity[self.rank] = now
+        for ancestor in parent.ancestors():
+            ancestor.server_activity[self.rank] = now
+        needs_fetch, remote_prefixes = self._touch_cache(parent)
+        delay = 0.0
+        if needs_fetch and parent.authority() != self.rank:
+            # The directory inode's authority is elsewhere: refresh the
+            # replica from the authoritative MDS, not from RADOS.
+            remote_prefixes += 1
+            needs_fetch = False
+        if remote_prefixes:
+            # Stale/uncached ancestor inodes whose authority is elsewhere:
+            # the serving MDS must traverse the prefix remotely (§2.1 --
+            # "requests involving prefix path traversals").
+            self.metrics.prefix_traversals += remote_prefixes
+            delay += remote_prefixes * self.config.prefix_traversal_time
+        if needs_fetch:
+            # Authoritative directory object not in memory: fetch it from
+            # RADOS, then apply.
+            self.metrics.fetches += 1
+            self.namespace.record_hit(parent, leaf, "FETCH", now)
+            obj = f"dir.{parent.inode.ino}"
+            fetched = self.rados.read(obj, self.config.dir_object_bytes)
+            fetched.add_callback(
+                lambda _c: self._apply(req, done, parent, leaf)
+            )
+            return
+        if delay > 0:
+            self.engine.schedule(delay, self._apply, req, done, parent, leaf)
+            return
+        self._apply(req, done, parent, leaf)
+
+    def _touch_cache(self, directory: Directory) -> tuple[bool, int]:
+        """Touch the path prefix in the cache.
+
+        Returns (parent missed -> RADOS fetch needed, number of *remote*
+        ancestor inodes that missed -> cross-rank prefix traversals).
+        """
+        missed = not self.cache.touch(directory.inode.ino)
+        remote_misses = 0
+        for ancestor in directory.ancestors():
+            if not self.cache.touch(ancestor.inode.ino):
+                if ancestor.authority() != self.rank:
+                    remote_misses += 1
+        return missed, remote_misses
+
+    def _maybe_invalidate_replicas(self, parent: Directory) -> None:
+        """A write dirties the parent (and grandparent) fragstats; lazily
+        propagated, this occasionally invalidates the inode replicas other
+        ranks hold, forcing them into remote prefix traversals."""
+        if len(self.peers) <= 1:
+            return
+        if self.rng.random() >= self.config.parent_inval_prob:
+            return
+        now = self.engine.now
+        window = self.config.coherency_window
+        node: Optional[Directory] = parent
+        for _level in range(self.config.parent_inval_levels):
+            if node is None:
+                break
+            # Ranks recently active under this directory take part in its
+            # coherency protocol and keep their replica fresh (they pay
+            # through the scatter-gather path instead); only passive
+            # cachers go stale.
+            for peer in self.peers:
+                if peer.rank == self.rank:
+                    continue
+                if now - node.server_activity.get(peer.rank,
+                                                  -float("inf")) < window:
+                    continue
+                peer.cache.drop(node.inode.ino)
+            node = node.parent
+
+    def _apply(self, req: MetaRequest, done: Completion,
+               parent: Directory, leaf: Optional[str]) -> None:
+        now = self.engine.now
+        kind = req.kind
+        result = None
+        try:
+            if kind is OpKind.CREATE:
+                existing = parent.lookup(leaf) if leaf is not None else None
+                if existing is not None and not existing.is_dir:
+                    # O_CREAT on an existing file: truncate/update in place
+                    # (compiles recreate .o files all the time).
+                    existing.touch(now, write=True)
+                    existing.size = 0
+                    self.cache.touch(existing.ino)
+                else:
+                    inode = self.namespace.create(req.path, now=now)
+                    self.cache.insert(inode.ino)
+                self.journal.log("create")
+                self._maybe_store(parent, leaf, now)
+            elif kind is OpKind.MKDIR:
+                directory = self.namespace.mkdir(req.path, now=now)
+                self.cache.insert(directory.inode.ino)
+                self.journal.log("mkdir")
+            elif kind is OpKind.UNLINK:
+                self.namespace.unlink(req.path, now=now)
+                self.journal.log("unlink")
+            elif kind is OpKind.RENAME:
+                dst = req.payload.get("dst")
+                if not dst:
+                    self._reply(req, done, error="EINVAL")
+                    return
+                dst_auth = self.namespace.authority_for_path(dst)
+                self.namespace.rename(req.path, dst, now=now)
+                self.journal.log("rename")
+                if dst_auth != self.rank:
+                    # Cross-MDS rename: §4.1 -- "client sessions ... are
+                    # flushed when slave MDS nodes rename or migrate
+                    # directories".
+                    dst_dir = dst.rsplit("/", 1)[0] or "/"
+                    flushed = self.sessions.flush_under(parent.path())
+                    flushed += self.peers[dst_auth].sessions.flush_under(
+                        dst_dir)
+                    self.metrics.session_flushes += flushed
+                    stall = flushed * self.config.session_flush_time
+                    if stall > 0:
+                        self.station.submit(("rename-flush", req.path),
+                                            stall)
+            elif kind is OpKind.READDIR:
+                entries = parent.readdir()
+                result = len(entries)
+            else:  # STAT / LOOKUP / OPEN
+                inode = (parent.lookup(leaf) if leaf is not None
+                         else parent.inode)
+                if inode is None:
+                    raise FileNotFoundError(req.path)
+                inode.touch(now)
+                self.cache.touch(inode.ino)
+                result = inode.ino
+        except FileExistsError:
+            self._reply(req, done, error="EEXIST")
+            return
+        except (FileNotFoundError, NotADirectoryError):
+            self._reply(req, done, error="ENOENT")
+            return
+        except ValueError:
+            self._reply(req, done, error="EINVAL")
+            return
+        counter_kind = kind.counter_kind
+        self.namespace.record_hit(parent, leaf, counter_kind, now)
+        self.auth_load.hit(counter_kind, now)
+        self.metrics.ops_served += 1
+        self.cluster_metrics.timeline.record(self.rank, now)
+        self._maybe_fragment(parent)
+        if kind.is_write:
+            self._maybe_scatter_gather(parent)
+            self._maybe_invalidate_replicas(parent)
+        self._reply(req, done, result=result, parent=parent)
+
+    def _maybe_scatter_gather(self, directory: Directory) -> None:
+        """Slave writes on a spread directory occasionally trigger a full
+        scatter-gather: updates on the directory halt while stats travel to
+        the authoritative MDS and back (paper §4.1, footnote 3)."""
+        spread = self._effective_spread(directory)
+        if spread <= 1.0 or self.rank == directory.authority():
+            return
+        probability = (self.config.scatter_gather_prob
+                       * ((spread - 1.0) / 3.0) ** 2)
+        if self.rng.random() >= probability:
+            return
+        self.metrics.scatter_gathers += 1
+        participants = len({frag.authority()
+                            for frag in directory.frags.values()})
+        # Halts grow superlinearly with the ranks involved: every extra
+        # participant adds round trips and widens the halted scope.
+        halt = self.config.scatter_gather_time * participants ** 1.5
+        frozen = [frag for frag in directory.frags.values() if not frag.frozen]
+        for frag in frozen:
+            frag.frozen = True
+
+        def unfreeze() -> None:
+            for frag in frozen:
+                frag.frozen = False
+
+        self.engine.schedule(halt, unfreeze)
+
+    def _maybe_store(self, parent: Directory, leaf: Optional[str],
+                     now: float) -> None:
+        """Every Nth write to a directory commits it back to RADOS."""
+        key = parent.inode.ino
+        count = self._stores_pending.get(key, 0) + 1
+        if count >= self.config.store_every:
+            self._stores_pending[key] = 0
+            self.metrics.stores += 1
+            self.namespace.record_hit(parent, leaf, "STORE", now)
+            obj = f"dir.{parent.inode.ino}"
+            self.rados.write(obj, self.config.dir_object_bytes)
+        else:
+            self._stores_pending[key] = count
+
+    def _maybe_fragment(self, directory: Directory) -> None:
+        if directory.needs_fragmentation():
+            directory.fragment(now=self.engine.now)
+            self.metrics.fragmentations += 1
+            # Fragmentation is real work on this CPU.
+            self.station.submit(("fragment", directory.path()), 0.001)
+
+    def _record_all_load(self, req: MetaRequest) -> None:
+        self.all_load.hit(req.kind.counter_kind, self.engine.now)
+
+    def _reply(self, req: MetaRequest, done: Completion,
+               result=None, error: Optional[str] = None,
+               parent: Optional[Directory] = None) -> None:
+        frag_map = None
+        dir_path = None
+        if parent is not None:
+            dir_path = parent.path()
+            frag_map = tuple(
+                (frag.frag_id.bits, frag.frag_id.value, frag.authority())
+                for frag in parent.frags.values()
+            )
+        reply = MetaReply(
+            req_id=req.req_id,
+            kind=req.kind,
+            path=req.path,
+            served_by=self.rank,
+            forwards=req.forwards,
+            latency=self.engine.now - req.issued_at,
+            result=result,
+            error=error,
+            dst=req.payload.get("dst"),
+            dir_path=dir_path,
+            frag_map=frag_map,
+        )
+        if not done.done:
+            self.network.deliver(done.succeed, reply)
+
+    # ------------------------------------------------------------------
+    # Heartbeats & balancing
+    # ------------------------------------------------------------------
+    def start_heartbeats(self) -> None:
+        """Begin the 10-second heartbeat/balance loop (paper Fig 2)."""
+        offset = self.config.heartbeat_interval * (
+            1.0 + 0.003 * self.rank  # slight desynchronisation across ranks
+        )
+        self.engine.every(self.config.heartbeat_interval,
+                          self.heartbeat_tick, start_after=offset)
+
+    def heartbeat_tick(self) -> None:
+        beat = self._snapshot_metrics()
+        self.hb_table.store(beat, self.engine.now)
+        for peer in self.peers:
+            if peer.rank == self.rank:
+                continue
+            # Pack time + network + unpack time: the staleness of §2.2.2.
+            self.network.deliver_after(
+                2 * self.config.heartbeat_pack_time,
+                peer.receive_heartbeat, beat,
+            )
+        if self.balancer is not None:
+            # Rebalance after this round's heartbeats have (probably)
+            # arrived: send HB -> recv HB -> rebalance (paper Fig 2).
+            self.engine.schedule(self.config.rebalance_delay,
+                                 self._run_balancer)
+
+    def _run_balancer(self) -> None:
+        if self.balancer is not None:
+            self.balancer.tick(self)
+
+    def receive_heartbeat(self, beat: HeartBeat) -> None:
+        self.hb_table.store(beat, self.engine.now)
+
+    def _snapshot_metrics(self) -> HeartBeat:
+        now = self.engine.now
+        self._hb_epoch += 1
+        metaload_fn = (self.balancer.metaload_fn if self.balancer is not None
+                       else _default_metaload)
+        cpu = self.station.utilization_since_mark() * 100.0
+        noise = self.config.cpu_measure_noise
+        if noise > 0:
+            # Instantaneous measurement noise (§2.2.2, point 1).
+            cpu = max(0.0, cpu * (1.0 + self.rng.normal(0.0, noise)))
+        return HeartBeat(
+            rank=self.rank,
+            sent_at=now,
+            auth_metaload=metaload_fn(self.auth_load.snapshot(now)),
+            all_metaload=metaload_fn(self.all_load.snapshot(now)),
+            cpu=min(100.0, cpu),
+            mem=100.0 * self.cache.fill_fraction,
+            queue_length=float(self.station.queue_length),
+            request_rate=self.metrics.take_request_rate(
+                self.config.heartbeat_interval
+            ),
+            epoch=self._hb_epoch,
+        )
+
+
+def _default_metaload(snapshot: dict) -> float:
+    """Table 1 metaload: IRD + 2*IWR + READDIR + 2*FETCH + 4*STORE."""
+    return (snapshot["IRD"] + 2.0 * snapshot["IWR"] + snapshot["READDIR"]
+            + 2.0 * snapshot["FETCH"] + 4.0 * snapshot["STORE"])

@@ -1,0 +1,194 @@
+"""Directories: inodes that hold dirfrags and per-directory load counters."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .counters import LoadCounters
+from .dirfrag import DirFrag, FragId, name_hash
+from .inode import Inode
+
+#: Paper §4.1: "When the directory reaches 50,000 directory entries, it is
+#: fragmented (the first iteration fragments into 2^3 = 8 dirfrags)".
+DEFAULT_SPLIT_SIZE = 50_000
+DEFAULT_SPLIT_BITS = 3
+
+
+class Directory:
+    """A directory: entries partitioned into dirfrags, plus counters.
+
+    Authority (which MDS serves this directory) is inherited from the parent
+    unless explicitly set -- explicitly-set directories are the *subtree
+    boundaries* of dynamic subtree partitioning.
+    """
+
+    def __init__(self, inode: Inode, parent: Optional["Directory"],
+                 half_life: float = 5.0,
+                 split_size: int = DEFAULT_SPLIT_SIZE,
+                 split_bits: int = DEFAULT_SPLIT_BITS) -> None:
+        if not inode.is_dir:
+            raise ValueError("directory payload requires a directory inode")
+        self.inode = inode
+        self.parent = parent
+        self.half_life = half_life
+        self.split_size = split_size
+        self.split_bits = split_bits
+        self.frags: dict[FragId, DirFrag] = {}
+        root_frag = FragId(0, 0)
+        self.frags[root_frag] = DirFrag(self, root_frag, half_life)
+        self.counters = LoadCounters(half_life=half_life)
+        self._auth: Optional[int] = None
+        self.subdirs: dict[str, "Directory"] = {}
+        #: rank -> last time that rank served an op in this subtree; ranks
+        #: recently active under a directory participate in its coherency
+        #: protocol and keep their replicas fresh.
+        self.server_activity: dict[int, float] = {}
+
+    # -- identity ------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.inode.name
+
+    def path(self) -> str:
+        if self.parent is None:
+            return "/"
+        parent_path = self.parent.path()
+        return parent_path + self.name if parent_path == "/" \
+            else f"{parent_path}/{self.name}"
+
+    def depth(self) -> int:
+        node, depth = self, 0
+        while node.parent is not None:
+            node = node.parent
+            depth += 1
+        return depth
+
+    # -- authority ------------------------------------------------------
+    @property
+    def explicit_auth(self) -> Optional[int]:
+        return self._auth
+
+    def set_auth(self, mds: Optional[int]) -> None:
+        """Make this directory a subtree boundary owned by *mds*
+        (or remove the boundary with None)."""
+        if mds is None and self.parent is None:
+            raise ValueError("the root directory must have an explicit auth")
+        self._auth = mds
+
+    def authority(self) -> int:
+        node: Optional[Directory] = self
+        while node is not None:
+            if node._auth is not None:
+                return node._auth
+            node = node.parent
+        raise RuntimeError(f"no authority anywhere above {self.path()!r}")
+
+    def is_subtree_root(self) -> bool:
+        return self._auth is not None
+
+    def clear_descendant_auth(self) -> None:
+        """Drop explicit auth below this directory so the whole subtree
+        inherits this directory's authority (called after a subtree
+        migration)."""
+        for child in self.subdirs.values():
+            child._auth = None
+            child.clear_descendant_auth()
+        for frag in self.frags.values():
+            frag.set_auth(None)
+
+    # -- dirfrags ------------------------------------------------------
+    def frag_for_name(self, name: str) -> DirFrag:
+        hashed = name_hash(name)
+        for frag in self.frags.values():
+            if frag.frag_id.contains(hashed):
+                return frag
+        raise RuntimeError(  # pragma: no cover - frags always cover the space
+            f"no frag covers {name!r} in {self.path()!r}"
+        )
+
+    def entry_count(self) -> int:
+        return sum(len(frag) for frag in self.frags.values())
+
+    def needs_fragmentation(self) -> bool:
+        return (len(self.frags) == 1
+                and self.entry_count() >= self.split_size)
+
+    def fragment(self, frag: DirFrag | None = None,
+                 extra_bits: int | None = None,
+                 now: float = 0.0) -> list[DirFrag]:
+        """Split *frag* (default: the largest) into 2^extra_bits children.
+
+        Entries and popularity are redistributed to the children (as of
+        time *now*, so decay bookkeeping stays correct); each child
+        initially inherits the parent frag's explicit auth.
+        """
+        if extra_bits is None:
+            extra_bits = self.split_bits
+        if frag is None:
+            frag = max(self.frags.values(), key=len)
+        if self.frags.get(frag.frag_id) is not frag:
+            raise ValueError("frag does not belong to this directory")
+        children: list[DirFrag] = []
+        now_entries = list(frag.entries.values())
+        child_ids = frag.frag_id.split(extra_bits)
+        del self.frags[frag.frag_id]
+        for child_id in child_ids:
+            child = DirFrag(self, child_id, self.half_life)
+            child.set_auth(frag.explicit_auth)
+            self.frags[child_id] = child
+            children.append(child)
+        for inode in now_entries:
+            hashed = name_hash(inode.name)
+            for child in children:
+                if child.frag_id.contains(hashed):
+                    child.entries[inode.name] = inode
+                    break
+        # Popularity splits proportionally to the entries each child got.
+        total = max(1, len(now_entries))
+        for child in children:
+            child.counters.absorb(frag.counters, now=now,
+                                  fraction=len(child) / total)
+        return children
+
+    # -- entries -------------------------------------------------------
+    def lookup(self, name: str) -> Optional[Inode]:
+        return self.frag_for_name(name).get(name)
+
+    def link(self, inode: Inode) -> None:
+        """Add *inode* as an entry of this directory."""
+        frag = self.frag_for_name(inode.name)
+        if inode.name in frag.entries:
+            raise FileExistsError(f"{self.path()}/{inode.name} exists")
+        inode.parent = self
+        frag.add(inode)
+
+    def unlink(self, name: str) -> Inode:
+        frag = self.frag_for_name(name)
+        if name not in frag.entries:
+            raise FileNotFoundError(f"{self.path()}/{name}")
+        inode = frag.remove(name)
+        self.subdirs.pop(name, None)
+        return inode
+
+    def readdir(self) -> list[Inode]:
+        entries: list[Inode] = []
+        for frag in self.frags.values():
+            entries.extend(frag.entries.values())
+        return entries
+
+    # -- traversal ------------------------------------------------------
+    def walk(self) -> Iterator["Directory"]:
+        """This directory and all descendants, depth-first."""
+        yield self
+        for child in self.subdirs.values():
+            yield from child.walk()
+
+    def ancestors(self) -> Iterator["Directory"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Directory({self.path()!r}, {len(self.frags)} frags, "
+                f"{self.entry_count()} entries)")

@@ -1,0 +1,21 @@
+"""RADOS substrate: OSDs, CRUSH placement, replication, MDS journals.
+
+CephFS decouples metadata from data; the MDS cluster's durable state (its
+journals and cold directory objects) lives in RADOS.  This package models
+that path: replicated object writes over OSD journal/disk stations, with a
+deterministic CRUSH-like placement function.
+"""
+
+from .cluster import DEFAULT_NUM_OSDS, DEFAULT_REPLICAS, RadosCluster
+from .crush import CrushMap
+from .journal import MdsJournal
+from .osd import Osd
+
+__all__ = [
+    "CrushMap",
+    "DEFAULT_NUM_OSDS",
+    "DEFAULT_REPLICAS",
+    "MdsJournal",
+    "Osd",
+    "RadosCluster",
+]

@@ -1,0 +1,24 @@
+"""Discrete-event simulation substrate.
+
+Provides the event engine, seeded RNG streams, FIFO service stations and the
+network latency model that the CephFS metadata cluster simulation is built
+on.
+"""
+
+from .engine import CancelledError, Completion, EventHandle, Process, SimEngine
+from .network import Network
+from .rng import RngStreams, ServiceTime
+from .stations import FifoStation, Job
+
+__all__ = [
+    "CancelledError",
+    "Completion",
+    "EventHandle",
+    "FifoStation",
+    "Job",
+    "Network",
+    "Process",
+    "RngStreams",
+    "ServiceTime",
+    "SimEngine",
+]

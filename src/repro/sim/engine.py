@@ -1,0 +1,273 @@
+"""Discrete-event simulation engine.
+
+A single-threaded event heap with a simulated clock (seconds, float).
+Components interact through three primitives:
+
+* :meth:`SimEngine.schedule` -- run a callback after a delay,
+* :class:`Completion` -- a one-shot future used for request/response flows,
+* :meth:`SimEngine.process` -- drive a generator that ``yield``s delays or
+  :class:`Completion` objects (a lightweight simpy-style coroutine), which is
+  how closed-loop clients and multi-step migrations are written.
+
+The engine is deterministic: ties in time are broken by insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+
+class CancelledError(Exception):
+    """Raised inside a process whose awaited completion was cancelled."""
+
+
+class EventHandle:
+    """Handle to a scheduled callback; supports O(1) cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None],
+                 args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Completion:
+    """A one-shot future: fires callbacks when succeeded or failed."""
+
+    __slots__ = ("engine", "_done", "_value", "_error", "_callbacks")
+
+    def __init__(self, engine: "SimEngine") -> None:
+        self.engine = engine
+        self._done = False
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Completion"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise RuntimeError("completion not done")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        self._finish(value, None)
+
+    def fail(self, error: BaseException) -> None:
+        self._finish(None, error)
+
+    def cancel(self) -> None:
+        if not self._done:
+            self.fail(CancelledError())
+
+    def _finish(self, value: Any, error: Optional[BaseException]) -> None:
+        if self._done:
+            raise RuntimeError("completion already done")
+        self._done = True
+        self._value = value
+        self._error = error
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Completion"], None]) -> None:
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Process:
+    """Drives a generator: ``yield <float delay>`` or ``yield <Completion>``.
+
+    The generator resumes with the completion's value (or the exception is
+    thrown into it).  The process itself is a completion that fires with the
+    generator's return value.
+    """
+
+    def __init__(self, engine: "SimEngine",
+                 generator: Generator[Any, Any, Any], name: str = "") -> None:
+        self.engine = engine
+        self.generator = generator
+        self.name = name
+        self.completion = Completion(engine)
+        engine.schedule(0.0, self._resume, None, None)
+
+    def _resume(self, value: Any, error: Optional[BaseException]) -> None:
+        try:
+            if error is not None:
+                yielded = self.generator.throw(error)
+            else:
+                yielded = self.generator.send(value)
+        except StopIteration as stop:
+            if not self.completion.done:
+                self.completion.succeed(getattr(stop, "value", None))
+            return
+        except CancelledError:
+            if not self.completion.done:
+                self.completion.cancel()
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, Completion):
+            def on_done(completion: Completion) -> None:
+                try:
+                    value = completion.value
+                except BaseException as exc:  # noqa: BLE001 - forwarded
+                    self.engine.schedule(0.0, self._resume, None, exc)
+                    return
+                self.engine.schedule(0.0, self._resume, value, None)
+
+            yielded.add_callback(on_done)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise ValueError(f"negative delay {yielded}")
+            self.engine.schedule(float(yielded), self._resume, None, None)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {type(yielded).__name__}; "
+                "expected a delay or a Completion"
+            )
+
+
+class SimEngine:
+    """The event loop: heap of (time, seq) ordered callbacks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[EventHandle] = []
+        self._seq = itertools.count()
+        self._executed = 0
+
+    # -- scheduling -----------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., None],
+                 *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after *delay* simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        handle = EventHandle(self.now + delay, next(self._seq), fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_at(self, time: float, fn: Callable[..., None],
+                    *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at absolute simulated *time*."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        return self.schedule(time - self.now, fn, *args)
+
+    def every(self, interval: float, fn: Callable[..., None],
+              *, start_after: float | None = None,
+              jitter: Callable[[], float] | None = None) -> Callable[[], None]:
+        """Run *fn* periodically.  Returns a stop function."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        stopped = False
+
+        def tick() -> None:
+            if stopped:
+                return
+            fn()
+            delay = interval + (jitter() if jitter else 0.0)
+            self.schedule(max(1e-9, delay), tick)
+
+        first = interval if start_after is None else start_after
+        self.schedule(max(0.0, first), tick)
+
+        def stop() -> None:
+            nonlocal stopped
+            stopped = True
+
+        return stop
+
+    # -- futures & processes --------------------------------------------
+    def completion(self) -> Completion:
+        return Completion(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Completion:
+        completion = Completion(self)
+        self.schedule(delay, completion.succeed, value)
+        return completion
+
+    def process(self, generator: Generator[Any, Any, Any],
+                name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    # -- execution -------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return sum(1 for handle in self._heap if not handle.cancelled)
+
+    @property
+    def events_executed(self) -> int:
+        return self._executed
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the heap is empty."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if handle.time < self.now - 1e-12:  # pragma: no cover - invariant
+                raise RuntimeError("time went backwards")
+            self.now = handle.time
+            self._executed += 1
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Run all events with timestamp <= *time*; clock ends at *time*."""
+        while self._heap:
+            handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if handle.time > time:
+                break
+            self.step()
+        self.now = max(self.now, time)
+
+    def run(self, max_events: int | None = None) -> None:
+        """Run until the heap drains (or *max_events* fire)."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; likely livelock"
+                )
+
+    def run_until_complete(self, completion: Completion,
+                           max_events: int | None = None) -> Any:
+        """Run until *completion* fires; returns its value."""
+        count = 0
+        while not completion.done:
+            if not self.step():
+                raise RuntimeError(
+                    "event heap drained before completion fired"
+                )
+            count += 1
+            if max_events is not None and count >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; likely livelock"
+                )
+        return completion.value

@@ -1,0 +1,56 @@
+"""Network latency model.
+
+Messages between clients, MDS ranks and OSDs take a base one-way latency
+plus lognormal jitter.  Heartbeats additionally pay a pack/unpack delay,
+which is what makes remote load views *stale* (paper §2.2.2, "Decentralized
+MDS state").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from .engine import Completion, SimEngine
+
+
+class Network:
+    """Star network: every pair of nodes has the same latency distribution."""
+
+    def __init__(self, engine: SimEngine, rng: np.random.Generator,
+                 base_latency: float = 0.0002,
+                 jitter_cv: float = 0.2) -> None:
+        self.engine = engine
+        self.rng = rng
+        self.base_latency = float(base_latency)
+        self.jitter_cv = float(jitter_cv)
+        self.messages_sent = 0
+
+    def one_way(self) -> float:
+        """Sample one one-way latency."""
+        self.messages_sent += 1
+        if self.jitter_cv <= 0:
+            return self.base_latency
+        sigma2 = np.log(1.0 + self.jitter_cv ** 2)
+        mu = np.log(self.base_latency) - sigma2 / 2.0
+        return float(self.rng.lognormal(mu, np.sqrt(sigma2)))
+
+    def deliver(self, handler: Callable[..., None], *args: Any) -> None:
+        """Invoke *handler(args)* after one network hop."""
+        self.engine.schedule(self.one_way(), handler, *args)
+
+    def deliver_after(self, extra_delay: float,
+                      handler: Callable[..., None], *args: Any) -> None:
+        """Invoke *handler(args)* after one hop plus *extra_delay*."""
+        self.engine.schedule(self.one_way() + extra_delay, handler, *args)
+
+    def request(self, handler: Callable[[Completion], None]) -> Completion:
+        """One-hop request whose response is signalled through a completion.
+
+        The callee receives the completion and succeeds it when done; the
+        caller should yield on it from a process.
+        """
+        completion = self.engine.completion()
+        self.engine.schedule(self.one_way(), handler, completion)
+        return completion

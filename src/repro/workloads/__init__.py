@@ -1,0 +1,19 @@
+"""Workload generators: create storms, compile jobs, zipf traffic, traces."""
+
+from .base import Workload, WorkloadOp
+from .checkpoint import CheckpointWorkload
+from .compile import SOURCE_TREE, CompileWorkload
+from .create import CreateWorkload
+from .patterns import TraceWorkload, ZipfWorkload, zipf_weights
+
+__all__ = [
+    "CheckpointWorkload",
+    "CompileWorkload",
+    "CreateWorkload",
+    "SOURCE_TREE",
+    "TraceWorkload",
+    "Workload",
+    "WorkloadOp",
+    "ZipfWorkload",
+    "zipf_weights",
+]

@@ -1,0 +1,45 @@
+"""Op kinds and request/reply types."""
+
+from repro.clients.ops import MetaReply, MetaRequest, OpKind
+
+
+class TestOpKind:
+    def test_write_classification(self):
+        assert OpKind.CREATE.is_write
+        assert OpKind.MKDIR.is_write
+        assert OpKind.UNLINK.is_write
+        assert not OpKind.STAT.is_write
+        assert not OpKind.READDIR.is_write
+
+    def test_counter_kinds(self):
+        assert OpKind.CREATE.counter_kind == "IWR"
+        assert OpKind.STAT.counter_kind == "IRD"
+        assert OpKind.LOOKUP.counter_kind == "IRD"
+        assert OpKind.OPEN.counter_kind == "IRD"
+        assert OpKind.READDIR.counter_kind == "READDIR"
+        assert OpKind.UNLINK.counter_kind == "IWR"
+
+
+class TestMetaRequest:
+    def test_unique_request_ids(self):
+        a = MetaRequest(kind=OpKind.STAT, path="/a", client_id=0)
+        b = MetaRequest(kind=OpKind.STAT, path="/a", client_id=0)
+        assert a.req_id != b.req_id
+
+    def test_forwards_counts_extra_hops(self):
+        req = MetaRequest(kind=OpKind.STAT, path="/a", client_id=0)
+        assert req.forwards == 0
+        req.hops.append(0)
+        assert req.forwards == 0
+        req.hops.append(2)
+        assert req.forwards == 1
+
+
+class TestMetaReply:
+    def test_ok_property(self):
+        ok = MetaReply(req_id=1, kind=OpKind.STAT, path="/a", served_by=0,
+                       forwards=0, latency=0.001)
+        bad = MetaReply(req_id=2, kind=OpKind.STAT, path="/a", served_by=0,
+                        forwards=0, latency=0.001, error="ENOENT")
+        assert ok.ok
+        assert not bad.ok

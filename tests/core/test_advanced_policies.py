@@ -1,0 +1,127 @@
+"""Advanced balancers (paper §4.4 future work): GIGA+-style autonomous
+splitting, statistical capacity modeling, feedback control."""
+
+import pytest
+
+from repro.cluster import run_experiment
+from repro.core.policies import (
+    capacity_model_policy,
+    feedback_policy,
+    giga_autonomous_policy,
+)
+from repro.core.validator import validate_policy
+from repro.luapolicy.sandbox import compile_policy
+from repro.workloads import CreateWorkload
+from tests.conftest import make_config
+
+
+class TestValidation:
+    @pytest.mark.parametrize("factory", [
+        giga_autonomous_policy, capacity_model_policy, feedback_policy,
+    ])
+    def test_validates(self, factory):
+        report = validate_policy(factory())
+        assert report.ok, report.problems
+
+
+class TestGigaAutonomous:
+    def test_splits_under_load(self):
+        config = make_config(num_mds=4, num_clients=4,
+                             heartbeat_interval=1.0, dir_split_size=400)
+        report = run_experiment(
+            config,
+            CreateWorkload(num_clients=4, files_per_client=4000,
+                           shared_dir=True),
+            policy=giga_autonomous_policy(threshold=500.0),
+        )
+        assert report.total_migrations >= 1
+        active = sum(1 for ops in report.per_mds_ops().values() if ops > 0)
+        assert active >= 2
+
+    def test_idle_cluster_does_not_split(self):
+        config = make_config(num_mds=2, num_clients=1,
+                             heartbeat_interval=1.0)
+        report = run_experiment(
+            config,
+            CreateWorkload(num_clients=1, files_per_client=500),
+            policy=giga_autonomous_policy(threshold=1e9),
+        )
+        assert report.total_migrations == 0
+
+
+class TestCapacityModel:
+    def test_state_machine_updates_capacity(self):
+        policy = capacity_model_policy(initial_capacity=100.0, alpha=0.5)
+        chunk = compile_policy(policy.decision_source())
+        state = {}
+
+        def wrstate(value=None):
+            state["cap"] = value
+
+        def rdstate():
+            return state.get("cap")
+
+        bindings = {
+            "whoami": 1,
+            "MDSs": [{"load": 400.0, "cpu": 95.0},
+                     {"load": 0.0, "cpu": 0.0}],
+            "total": 400.0,
+            "targets": {},
+            "WRstate": wrstate,
+            "RDstate": rdstate,
+        }
+        result = chunk.run(dict(bindings))
+        # Saturated: the capacity estimate contracts toward 0.9*load.
+        first_cap = state["cap"]
+        assert first_cap == pytest.approx(0.5 * 100 + 0.5 * 400 * 0.9)
+        assert result.global_value("go") is True
+        # Run again: estimate keeps adapting from stored state.
+        chunk.run(dict(bindings))
+        assert state["cap"] > first_cap
+
+    def test_spills_excess_to_coolest_rank(self):
+        config = make_config(num_mds=3, num_clients=4,
+                             heartbeat_interval=1.0, dir_split_size=400)
+        report = run_experiment(
+            config,
+            CreateWorkload(num_clients=4, files_per_client=4000,
+                           shared_dir=True),
+            policy=capacity_model_policy(initial_capacity=2000.0),
+        )
+        assert report.total_migrations >= 1
+
+
+class TestFeedbackController:
+    def test_action_is_damped(self):
+        policy = feedback_policy(setpoint=50.0, gain=0.01, damping=0.5)
+        chunk = compile_policy(policy.decision_source())
+        state = {}
+        bindings = {
+            "whoami": 1,
+            "MDSs": [{"load": 100.0, "cpu": 90.0},
+                     {"load": 0.0, "cpu": 5.0}],
+            "total": 100.0,
+            "targets": {},
+            "WRstate": lambda v=None: state.__setitem__("a", v),
+            "RDstate": lambda: state.get("a"),
+        }
+        chunk.run(dict(bindings))
+        first = state["a"]
+        assert first == pytest.approx(0.5 * 0.01 * 40)
+        chunk.run(dict(bindings))
+        second = state["a"]
+        # The action approaches the steady-state value smoothly.
+        assert second > first
+        assert second < 0.01 * 40
+
+    def test_controller_balances_cluster(self):
+        config = make_config(num_mds=2, num_clients=4,
+                             heartbeat_interval=1.0, dir_split_size=400)
+        report = run_experiment(
+            config,
+            CreateWorkload(num_clients=4, files_per_client=4000,
+                           shared_dir=True),
+            policy=feedback_policy(setpoint=60.0),
+        )
+        assert report.total_migrations >= 1
+        assert report.per_mds_ops().get(1, 0) > 0

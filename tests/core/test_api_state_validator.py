@@ -1,0 +1,172 @@
+"""MantlePolicy API, balancer state, and the pre-injection validator."""
+
+import pytest
+
+from repro.core.api import CEPHFS_METALOAD, MantlePolicy
+from repro.core.policies import (
+    STOCK_POLICIES,
+    adaptable_policy,
+    fill_spill_policy,
+    greedy_spill_even_policy,
+    greedy_spill_policy,
+    original_policy,
+)
+from repro.core.state import BalancerState
+from repro.core.validator import validate_policy
+from repro.luapolicy import LuaSyntaxError
+
+
+class TestMantlePolicy:
+    def test_compile_all_accepts_valid(self):
+        policy = MantlePolicy(
+            name="ok", metaload="IWR", when="go = true",
+            where="targets[2] = 1",
+        )
+        policy.compile_all()
+
+    def test_compile_all_rejects_bad_syntax(self):
+        policy = MantlePolicy(name="bad", when="if then end")
+        with pytest.raises(LuaSyntaxError):
+            policy.compile_all()
+
+    def test_compile_all_rejects_unknown_selector(self):
+        policy = MantlePolicy(name="bad", when="go = false",
+                              howmuch=("nope",))
+        with pytest.raises(KeyError):
+            policy.compile_all()
+
+    def test_decision_source_wraps_where_in_go_guard(self):
+        policy = MantlePolicy(name="p", when="go = false",
+                              where="targets[1] = 99")
+        source = policy.decision_source()
+        assert "if go then" in source
+
+    def test_compiled_forms_cached(self):
+        policy = MantlePolicy(name="p", when="go = false")
+        assert policy.metaload_fn() is policy.metaload_fn()
+        assert policy.decision_chunk() is policy.decision_chunk()
+
+    def test_default_formulas_are_table1(self):
+        policy = MantlePolicy(name="p")
+        assert policy.metaload == CEPHFS_METALOAD
+
+    def test_describe(self):
+        text = original_policy().describe()
+        assert "cephfs-original" in text
+        assert "mds_bal_metaload" in text
+
+
+class TestBalancerState:
+    def test_per_rank_slots(self):
+        state = BalancerState()
+        state.write(0, 1.0)
+        state.write(1, 2.0)
+        assert state.read(0) == 1.0
+        assert state.read(1) == 2.0
+
+    def test_missing_slot_is_none(self):
+        assert BalancerState().read(5) is None
+
+    def test_bound_functions(self):
+        state = BalancerState()
+        wrstate, rdstate = state.bound_functions(3)
+        wrstate(7)
+        assert rdstate() == 7
+        assert state.read(3) == 7
+
+    def test_clear(self):
+        state = BalancerState()
+        state.write(0, 1)
+        state.write(1, 2)
+        state.clear(0)
+        assert state.read(0) is None
+        assert state.read(1) == 2
+        state.clear()
+        assert state.read(1) is None
+
+    def test_access_counters(self):
+        state = BalancerState()
+        state.write(0, 1)
+        state.read(0)
+        state.read(0)
+        assert state.writes == 1
+        assert state.reads == 2
+
+
+class TestValidator:
+    def test_all_stock_policies_validate(self):
+        for name, factory in STOCK_POLICIES.items():
+            report = validate_policy(factory())
+            assert report.ok, f"{name}: {report.problems}"
+
+    def test_syntax_error_reported_not_raised(self):
+        report = validate_policy(MantlePolicy(name="bad", when="if x the"))
+        assert not report.ok
+        assert any("syntax" in problem for problem in report.problems)
+
+    def test_infinite_loop_caught(self):
+        report = validate_policy(
+            MantlePolicy(name="spin", when="while 1 do end")
+        )
+        assert not report.ok
+        assert any("budget" in problem or "unbounded" in problem
+                   for problem in report.problems)
+
+    def test_runtime_error_caught(self):
+        report = validate_policy(
+            MantlePolicy(name="crash", when='go = nil + 1')
+        )
+        assert not report.ok
+
+    def test_bad_metaload_reported(self):
+        report = validate_policy(
+            MantlePolicy(name="p", metaload="IWR ..", when="go = false")
+        )
+        assert not report.ok
+
+    def test_unknown_selector_reported(self):
+        report = validate_policy(
+            MantlePolicy(name="p", when="go = false", howmuch=("zzz",))
+        )
+        assert not report.ok
+
+    def test_never_migrating_policy_warns(self):
+        report = validate_policy(
+            MantlePolicy(name="noop", when="x = 1")  # never sets go
+        )
+        assert report.ok
+        assert any("never set 'go'" in warning for warning in report.warnings)
+
+    def test_dry_run_outputs_exposed(self):
+        report = validate_policy(greedy_spill_policy())
+        assert report.sample_metaload is not None
+        assert len(report.sample_loads) == 4
+        # The synthetic cluster has rank 0 hot, others idle -> greedy spill
+        # fires and targets rank 1 (0-based).
+        assert report.sample_go is True
+        assert 1 in report.sample_targets
+
+
+class TestStockPolicyShapes:
+    def test_greedy_spill_uses_half_selector(self):
+        assert tuple(greedy_spill_policy().howmuch) == ("half",)
+
+    def test_greedy_spill_even_searches_cluster(self):
+        assert "math.floor" in greedy_spill_even_policy().when
+
+    def test_fill_spill_fraction_in_name_and_source(self):
+        policy = fill_spill_policy(spill_fraction=0.10)
+        assert "10pct" in policy.name
+        assert "0.1" in policy.where
+
+    def test_fill_spill_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            fill_spill_policy(spill_fraction=0.0)
+
+    def test_adaptable_uses_full_selector_family(self):
+        assert set(adaptable_policy().howmuch) == {
+            "half", "small", "big", "big_small"
+        }
+
+    def test_original_need_min(self):
+        assert original_policy().need_min_factor == 0.8

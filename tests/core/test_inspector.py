@@ -1,0 +1,116 @@
+"""Decision-log analysis tools."""
+
+import pytest
+
+from repro.cluster import run_experiment
+from repro.core.inspector import (
+    DecisionAnalysis,
+    Migration,
+    balance_timeline,
+    summarize_behaviour,
+)
+from repro.core.policies import (
+    adaptable_too_aggressive_policy,
+    greedy_spill_policy,
+)
+from repro.workloads import CreateWorkload
+from tests.conftest import make_config
+
+
+def mig(t, src, dst, path="/d#0*0", load=10.0):
+    return Migration(time=t, source=src, target=dst, path=path, load=load)
+
+
+class TestDecisionAnalysis:
+    def test_empty_log(self):
+        analysis = DecisionAnalysis([], makespan=10.0, num_ranks=2)
+        assert analysis.migration_count == 0
+        assert analysis.time_to_first_balance() == float("inf")
+        assert analysis.settle_time() == 0.0
+        assert analysis.settle_fraction() == 0.0
+        assert not analysis.thrash().is_thrashing
+
+    def test_cadence(self):
+        analysis = DecisionAnalysis(
+            [mig(20.0, 0, 1), mig(10.0, 0, 1, path="/e#0*0")],
+            makespan=100.0, num_ranks=2,
+        )
+        assert analysis.time_to_first_balance() == 10.0
+        assert analysis.settle_time() == 20.0
+        assert analysis.settle_fraction() == pytest.approx(0.2)
+        assert analysis.load_moved() == 20.0
+
+    def test_ping_pong_detection(self):
+        analysis = DecisionAnalysis(
+            [mig(10.0, 0, 1), mig(20.0, 1, 0)],
+            makespan=50.0, num_ranks=2,
+        )
+        thrash = analysis.thrash()
+        assert thrash.is_thrashing
+        assert thrash.ping_pongs == [("/d#0*0", 0, 1)]
+        assert thrash.repeat_moves == {"/d#0*0": 2}
+        assert thrash.total_excess_moves == 1
+
+    def test_repeat_without_ping_pong(self):
+        analysis = DecisionAnalysis(
+            [mig(10.0, 0, 1), mig(20.0, 1, 2)],
+            makespan=50.0, num_ranks=3,
+        )
+        thrash = analysis.thrash()
+        assert thrash.repeat_moves == {"/d#0*0": 2}
+        assert thrash.ping_pongs == []
+
+    def test_flow_by_rank(self):
+        analysis = DecisionAnalysis(
+            [mig(1, 0, 1), mig(2, 0, 2, path="/x"), mig(3, 1, 2, path="/y")],
+            makespan=10.0, num_ranks=3,
+        )
+        assert analysis.exports_by_rank() == {0: 2, 1: 1, 2: 0}
+        assert analysis.imports_by_rank() == {0: 0, 1: 1, 2: 2}
+
+
+class TestWithRealRuns:
+    @pytest.fixture(scope="class")
+    def greedy_report(self):
+        return run_experiment(
+            make_config(num_mds=2, num_clients=4, heartbeat_interval=1.0,
+                        dir_split_size=400),
+            CreateWorkload(num_clients=4, files_per_client=3000,
+                           shared_dir=True),
+            policy=greedy_spill_policy(),
+        )
+
+    def test_from_report(self, greedy_report):
+        analysis = DecisionAnalysis.from_report(greedy_report)
+        assert analysis.migration_count == greedy_report.total_migrations
+        assert analysis.time_to_first_balance() < greedy_report.makespan
+
+    def test_balance_timeline_improves_after_spill(self, greedy_report):
+        timeline = balance_timeline(greedy_report, window=1.0)
+        assert timeline
+        # All windows pre-spill are fully imbalanced (cv of [x, 0]).
+        first_cv = timeline[0][1]
+        last_cv = timeline[-1][1]
+        assert last_cv < first_cv
+
+    def test_thrashy_policy_detected(self):
+        report = run_experiment(
+            make_config(num_mds=3, num_clients=4, heartbeat_interval=1.0,
+                        dir_split_size=400),
+            CreateWorkload(num_clients=4, files_per_client=6000,
+                           shared_dir=True),
+            policy=adaptable_too_aggressive_policy(),
+        )
+        analysis = DecisionAnalysis.from_report(report)
+        # The too-aggressive balancer keeps migrating late into the run.
+        assert analysis.settle_fraction() > 0.5
+
+    def test_summary_text(self, greedy_report):
+        text = summarize_behaviour(greedy_report)
+        assert "greedy-spill" in text
+        assert "migrations:" in text
+        assert "final balance cv:" in text
+
+    def test_balance_timeline_window_validation(self, greedy_report):
+        with pytest.raises(ValueError):
+            balance_timeline(greedy_report, window=0)

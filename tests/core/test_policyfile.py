@@ -1,0 +1,115 @@
+"""Policy-file format: parse, dump, round-trip."""
+
+import pytest
+
+from repro.core.policies import STOCK_POLICIES
+from repro.core.policyfile import (
+    PolicyFileError,
+    dump_policy,
+    load_policy_file,
+    parse_policy_source,
+)
+from repro.core.validator import validate_policy
+
+SAMPLE = """
+-- @name sample-spill
+-- @need_min 0.9
+-- @metaload
+IWR + IRD
+-- @mdsload
+MDSs[i]["all"]
+-- @when
+go = MDSs[whoami]["load"] > total/#MDSs
+-- @where
+targets[whoami+1] = MDSs[whoami]["load"]/2
+-- @howmuch
+big_first, big_small
+"""
+
+
+class TestParse:
+    def test_sample_parses(self):
+        policy = parse_policy_source(SAMPLE)
+        assert policy.name == "sample-spill"
+        assert policy.metaload == "IWR + IRD"
+        assert policy.mdsload == 'MDSs[i]["all"]'
+        assert "total/#MDSs" in policy.when
+        assert policy.howmuch == ("big_first", "big_small")
+        assert policy.need_min_factor == 0.9
+
+    def test_parsed_policy_validates(self):
+        report = validate_policy(parse_policy_source(SAMPLE))
+        assert report.ok, report.problems
+
+    def test_multiline_sections(self):
+        policy = parse_policy_source("""
+-- @when
+maxv = 0
+for i=1,#MDSs do maxv = max(maxv, MDSs[i]["load"]) end
+go = MDSs[whoami]["load"] >= maxv and maxv > 0
+-- @where
+targets[2] = 1
+""")
+        assert "for i=1,#MDSs" in policy.when
+
+    def test_defaults_for_missing_optional_sections(self):
+        policy = parse_policy_source(
+            "-- @when\ngo = false\n-- @where\ntargets[2] = 1\n"
+        )
+        assert "IRD + 2*IWR" in policy.metaload
+        assert policy.howmuch == ("big_first",)
+
+    def test_missing_required_section_rejected(self):
+        with pytest.raises(PolicyFileError, match="required"):
+            parse_policy_source("-- @when\ngo = false\n")
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(PolicyFileError, match="unknown section"):
+            parse_policy_source("-- @bogus\nx = 1\n")
+
+    def test_duplicate_section_rejected(self):
+        with pytest.raises(PolicyFileError, match="duplicate"):
+            parse_policy_source(
+                "-- @when\ngo=false\n-- @when\ngo=true\n-- @where\nx=1\n"
+            )
+
+    def test_scalar_without_value_rejected(self):
+        with pytest.raises(PolicyFileError, match="needs a value"):
+            parse_policy_source("-- @name\n-- @when\ngo=false\n"
+                                "-- @where\nx=1\n")
+
+    def test_lua_comments_inside_sections_kept(self):
+        policy = parse_policy_source("""
+-- @when
+-- plain comments (no @) stay part of the Lua source
+go = false
+-- @where
+targets[2] = 1
+""")
+        assert "plain comments" in policy.when
+        policy.compile_all()
+
+
+class TestFileRoundTrip:
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "spill.lua"
+        path.write_text(SAMPLE)
+        policy = load_policy_file(path)
+        assert policy.name == "sample-spill"
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mypolicy.lua"
+        path.write_text("-- @when\ngo=false\n-- @where\nt=1\n")
+        assert load_policy_file(path).name == "mypolicy"
+
+    @pytest.mark.parametrize("stock", sorted(STOCK_POLICIES))
+    def test_stock_policies_round_trip(self, stock):
+        original = STOCK_POLICIES[stock]()
+        reparsed = parse_policy_source(dump_policy(original))
+        assert reparsed.name == original.name
+        assert reparsed.metaload.strip() == original.metaload.strip()
+        assert tuple(reparsed.howmuch) == tuple(original.howmuch)
+        assert reparsed.need_min_factor == original.need_min_factor
+        # And it still compiles and validates.
+        report = validate_policy(reparsed)
+        assert report.ok, (stock, report.problems)

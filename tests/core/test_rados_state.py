@@ -1,0 +1,80 @@
+"""RADOS-backed balancer state (paper §3.1 future work)."""
+
+import numpy as np
+
+from repro.core.state import RadosBalancerState
+from repro.rados.cluster import RadosCluster
+from repro.sim.engine import SimEngine
+from repro.sim.network import Network
+from repro.sim.rng import RngStreams
+
+
+def make_rados():
+    engine = SimEngine()
+    rngs = RngStreams(seed=0)
+    network = Network(engine, rngs.stream("net"), base_latency=0.0001,
+                      jitter_cv=0.0)
+    return engine, RadosCluster(engine, network, rngs, num_osds=3)
+
+
+class TestRadosBalancerState:
+    def test_write_persists_to_rados(self):
+        engine, rados = make_rados()
+        state = RadosBalancerState(rados)
+        state.write(0, 3.5)
+        engine.run()
+        assert rados.exists("mantle.state.mds0")
+        assert rados.get_payload("mantle.state.mds0") == 3.5
+        assert state.rados_writes == 1
+
+    def test_read_is_local_and_fast(self):
+        engine, rados = make_rados()
+        state = RadosBalancerState(rados)
+        state.write(2, "hot")
+        # No simulation time needs to pass for reads.
+        assert state.read(2) == "hot"
+
+    def test_recovery_after_restart(self):
+        engine, rados = make_rados()
+        state = RadosBalancerState(rados)
+        state.write(0, 7.0)
+        state.write(1, 9.0)
+        engine.run()
+
+        # A fresh state store (an MDS restart) recovers from RADOS.
+        recovered = RadosBalancerState(rados)
+        assert recovered.read(0) is None
+        recovered.recover_all(num_ranks=2)
+        assert recovered.read(0) == 7.0
+        assert recovered.read(1) == 9.0
+
+    def test_recover_missing_slot_is_none(self):
+        engine, rados = make_rados()
+        state = RadosBalancerState(rados)
+        assert state.recover(5) is None
+
+    def test_per_rank_objects(self):
+        engine, rados = make_rados()
+        state = RadosBalancerState(rados, prefix="custom")
+        state.write(0, 1)
+        state.write(1, 2)
+        engine.run()
+        assert rados.exists("custom.mds0")
+        assert rados.exists("custom.mds1")
+
+    def test_bound_functions_write_through(self):
+        engine, rados = make_rados()
+        state = RadosBalancerState(rados)
+        wrstate, rdstate = state.bound_functions(3)
+        wrstate(42)
+        engine.run()
+        assert rdstate() == 42
+        assert rados.get_payload("mantle.state.mds3") == 42
+
+    def test_writes_consume_osd_time(self):
+        engine, rados = make_rados()
+        state = RadosBalancerState(rados)
+        state.write(0, 1)
+        engine.run()
+        assert engine.now > 0
+        assert rados.total_writes() > 0

@@ -1,0 +1,134 @@
+"""Dirfrag selectors, including the paper's §2.2.3 worked example."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.selectors import (
+    big_first,
+    big_small,
+    choose_best,
+    get_selector,
+    half,
+    register_selector,
+    small_first,
+)
+
+#: The paper's §2.2.3 dirfrag loads and target.
+PAPER_LOADS = [12.7, 13.3, 13.3, 14.6, 15.7, 13.5, 13.7, 14.6]
+PAPER_TARGET = 55.6
+
+
+def units(loads):
+    return [(f"frag{i}", load) for i, load in enumerate(loads)]
+
+
+class TestBigFirst:
+    def test_takes_largest_until_target(self):
+        chosen = big_first(units([1, 5, 3, 4]), target=8)
+        assert [load for _u, load in chosen] == [5, 4]
+
+    def test_cephfs_scaled_example(self):
+        """§2.2.3: with the 0.8 need_min scaling the original balancer
+        shipped only 15.7 + 14.6 + 14.6 = 44.9 of the 55.6 target."""
+        chosen = big_first(units(PAPER_LOADS), target=PAPER_TARGET * 0.8)
+        assert sorted((load for _u, load in chosen), reverse=True) == \
+            [15.7, 14.6, 14.6]
+        assert sum(load for _u, load in chosen) == pytest.approx(44.9)
+
+    def test_zero_loads_skipped(self):
+        chosen = big_first(units([0, 0, 2]), target=1)
+        assert [load for _u, load in chosen] == [2]
+
+
+class TestSmallFirst:
+    def test_takes_smallest_first(self):
+        chosen = small_first(units([5, 1, 3]), target=4)
+        assert [load for _u, load in chosen] == [1, 3]
+
+
+class TestBigSmall:
+    def test_alternates(self):
+        chosen = big_small(units([1, 2, 3, 4]), target=100)
+        assert [load for _u, load in chosen] == [4, 1, 3, 2]
+
+    def test_paper_example_selection(self):
+        chosen = big_small(units(PAPER_LOADS), target=PAPER_TARGET)
+        shipped = sum(load for _u, load in chosen)
+        # big, small, big, small: 15.7 + 12.7 + 14.6 + 13.3 = 56.3.
+        assert shipped == pytest.approx(56.3)
+
+
+class TestHalf:
+    def test_first_half(self):
+        chosen = half(units([1, 2, 3, 4]), target=0)
+        assert [load for _u, load in chosen] == [1, 2]
+
+    def test_odd_count_rounds_up(self):
+        chosen = half(units([1, 2, 3]), target=0)
+        assert len(chosen) == 2
+
+    def test_ignores_zero_loads(self):
+        chosen = half(units([0, 1, 2, 0]), target=0)
+        assert [load for _u, load in chosen] == [1]
+
+
+class TestChooseBest:
+    def test_paper_example_winner_is_big_small(self):
+        """Mantle runs all selectors and picks the closest to target; for
+        the §2.2.3 loads big_small wins (paper reports distance 0.5 with
+        its rounding; with the printed loads the distance is 0.7)."""
+        outcome = choose_best(
+            ["big_first", "small_first", "big_small", "half"],
+            units(PAPER_LOADS), PAPER_TARGET,
+        )
+        assert outcome.name == "big_small"
+        assert outcome.distance == pytest.approx(0.7, abs=0.01)
+
+    def test_empty_selector_list_rejected(self):
+        with pytest.raises(ValueError):
+            choose_best([], units([1]), 1.0)
+
+    def test_prefers_shipping_something(self):
+        # 'half' ships one unit; a selector that ships nothing must lose.
+        outcome = choose_best(["half", "big_first"], units([10.0]), 0.5)
+        assert outcome.chosen
+
+    def test_single_selector(self):
+        outcome = choose_best(["big_first"], units([3, 1]), 3)
+        assert outcome.name == "big_first"
+        assert outcome.shipped == 3
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1,
+                    max_size=12),
+           st.floats(min_value=0.1, max_value=500))
+    def test_best_distance_is_minimal(self, loads, target):
+        names = ["big_first", "small_first", "big_small", "half"]
+        outcome = choose_best(names, units(loads), target)
+        for name in names:
+            other = get_selector(name)(units(loads), target)
+            shipped = sum(load for _u, load in other)
+            if other:  # non-empty selections compete on distance
+                assert outcome.distance <= abs(target - shipped) + 1e-6
+
+
+class TestRegistry:
+    def test_aliases(self):
+        assert get_selector("big") is big_first
+        assert get_selector("small") is small_first
+
+    def test_unknown_selector(self):
+        with pytest.raises(KeyError, match="unknown dirfrag selector"):
+            get_selector("nope")
+
+    def test_register_custom(self):
+        def take_all(units_list, target):
+            return [pair for pair in units_list if pair[1] > 0]
+
+        register_selector("take_all_test", take_all)
+        try:
+            assert get_selector("take_all_test") is take_all
+            with pytest.raises(ValueError):
+                register_selector("take_all_test", take_all)
+        finally:
+            from repro.core.selectors import REGISTRY
+            del REGISTRY["take_all_test"]

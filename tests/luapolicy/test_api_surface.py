@@ -1,0 +1,95 @@
+"""Remaining public-API surface of the interpreter package."""
+
+import pytest
+
+from repro.luapolicy import (
+    Environment,
+    Interpreter,
+    LuaTable,
+    new_environment,
+    parse_chunk,
+    parse_expression,
+)
+
+
+class TestInterpreterEvaluate:
+    def test_evaluate_expression_directly(self):
+        interpreter = Interpreter()
+        env = new_environment()
+        env.declare("a", 10.0)
+        expr = parse_expression("a * 2 + 1")
+        assert interpreter.evaluate(expr, env) == 21.0
+
+    def test_evaluate_uses_budget(self):
+        interpreter = Interpreter(budget=10)
+        env = new_environment()
+        from repro.luapolicy import LuaBudgetExceeded
+        deep = parse_expression("1+1+1+1+1+1+1+1+1+1+1+1+1+1+1")
+        with pytest.raises(LuaBudgetExceeded):
+            interpreter.evaluate(deep, env)
+
+    def test_instructions_used(self):
+        interpreter = Interpreter()
+        env = new_environment()
+        interpreter.run(parse_chunk("x = 1 + 2"), env)
+        assert interpreter.instructions_used > 0
+
+
+class TestEnvironment:
+    def test_lookup_chain(self):
+        root = Environment()
+        root.declare("a", 1.0)
+        child = Environment(root)
+        child.declare("b", 2.0)
+        assert child.lookup("a") == 1.0
+        assert child.lookup("b") == 2.0
+        assert root.lookup("b") is None
+
+    def test_unknown_global_is_nil(self):
+        assert Environment().lookup("nothing") is None
+
+    def test_assign_updates_nearest_binding(self):
+        root = Environment()
+        root.declare("x", 1.0)
+        child = Environment(root)
+        child.assign("x", 9.0)
+        assert root.lookup("x") == 9.0
+
+    def test_assign_to_unknown_lands_in_root(self):
+        root = Environment()
+        mid = Environment(root)
+        leaf = Environment(mid)
+        leaf.assign("fresh", 7.0)
+        assert root.vars["fresh"] == 7.0
+        assert "fresh" not in leaf.vars
+
+    def test_declare_shadows(self):
+        root = Environment()
+        root.declare("x", 1.0)
+        child = Environment(root)
+        child.declare("x", 2.0)
+        assert child.lookup("x") == 2.0
+        assert root.lookup("x") == 1.0
+
+    def test_root_method(self):
+        root = Environment()
+        leaf = Environment(Environment(root))
+        assert leaf.root() is root
+
+
+class TestCallFromPython:
+    def test_call_lua_function_from_python(self):
+        """The driver-side ability to invoke a policy-defined function."""
+        interpreter = Interpreter()
+        env = new_environment()
+        interpreter.run(
+            parse_chunk("function double(x) return x * 2 end"), env
+        )
+        fn = env.lookup("double")
+        assert interpreter.call(fn, (21.0,)) == 42.0
+
+    def test_call_table_raises(self):
+        from repro.luapolicy import LuaRuntimeError
+        interpreter = Interpreter()
+        with pytest.raises(LuaRuntimeError, match="attempt to call"):
+            interpreter.call(LuaTable(), ())

@@ -1,0 +1,127 @@
+"""Interpreter and parser edge cases."""
+
+import pytest
+
+from repro.luapolicy import (
+    LuaRuntimeError,
+    LuaSyntaxError,
+    parse_chunk,
+    run_policy,
+)
+
+
+def value_of(source, name="x"):
+    return run_policy(source).python_value(name)
+
+
+class TestNumericForEdges:
+    def test_float_step(self):
+        assert value_of(
+            "x = 0 for i = 0, 1, 0.25 do x = x + 1 end"
+        ) == 5.0
+
+    def test_loop_variable_is_local(self):
+        assert value_of("i = 99 for i = 1, 3 do end x = i") == 99.0
+
+    def test_mutating_loop_var_does_not_affect_iteration(self):
+        assert value_of(
+            "x = 0 for i = 1, 3 do i = 100 x = x + 1 end"
+        ) == 3.0
+
+    def test_bounds_evaluated_once(self):
+        assert value_of("""
+        n = 3
+        x = 0
+        for i = 1, n do n = 100 x = x + 1 end
+        """) == 3.0
+
+
+class TestScopingEdges:
+    def test_while_body_scope_fresh_per_iteration(self):
+        assert value_of("""
+        x = 0
+        count = 0
+        while count < 3 do
+          local inner = (inner or 0) + 1  -- 'inner' resets each iteration
+          x = x + inner
+          count = count + 1
+        end
+        """) == 3.0
+
+    def test_nested_function_closure_sees_outer_local(self):
+        assert value_of("""
+        local function outer()
+          local secret = 41
+          local function inner() return secret + 1 end
+          return inner()
+        end
+        x = outer()
+        """) == 42.0
+
+    def test_if_branch_scope(self):
+        assert value_of("""
+        x = 1
+        if true then local x = 50 end
+        if false then x = 2 else local x = 60 end
+        """) == 1.0
+
+
+class TestTableEdges:
+    def test_deeply_nested_access(self):
+        assert value_of(
+            't = {a = {b = {c = {d = 5}}}} x = t.a.b.c.d'
+        ) == 5.0
+
+    def test_table_as_value_shared_by_reference(self):
+        assert value_of("""
+        a = {n = 1}
+        b = a
+        b.n = 7
+        x = a.n
+        """) == 7.0
+
+    def test_table_equality_is_identity(self):
+        assert value_of("x = ({} == {})") is False
+        assert value_of("t = {} u = t x = (t == u)") is True
+
+    def test_constructor_mixed_array_and_keys(self):
+        result = run_policy('t = {1, k = "v", 2, [10] = 3}')
+        table = result.global_value("t")
+        assert table.get(1) == 1.0
+        assert table.get(2) == 2.0
+        assert table.get("k") == "v"
+        assert table.get(10) == 3.0
+
+
+class TestErrorReporting:
+    def test_runtime_error_carries_line(self):
+        with pytest.raises(LuaRuntimeError, match="line 3"):
+            run_policy("x = 1\ny = 2\nz = nil + 1\n")
+
+    def test_syntax_error_carries_position(self):
+        with pytest.raises(LuaSyntaxError) as excinfo:
+            parse_chunk("x = 1\nif then end")
+        assert excinfo.value.line == 2
+
+    def test_indexing_error_names_type(self):
+        with pytest.raises(LuaRuntimeError, match="index a number"):
+            run_policy("n = 5 x = n.field")
+
+    def test_calling_nil_names_type(self):
+        with pytest.raises(LuaRuntimeError, match="call a nil"):
+            run_policy("x = nothing()")
+
+
+class TestWhitespaceAndComments:
+    def test_policy_entirely_comments(self):
+        result = run_policy("-- nothing here\n--[[ or here ]]\n")
+        assert result.returned is None
+
+    def test_windows_line_endings(self):
+        assert value_of("x = 1\r\ny = x + 1\r\n", "y") == 2.0
+
+    def test_no_trailing_newline(self):
+        assert value_of("x = 42") == 42.0
+
+    def test_semicolon_spam(self):
+        assert value_of(";;x = 1;;;y = 2;;", "y") == 2.0

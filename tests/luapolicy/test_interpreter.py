@@ -1,0 +1,287 @@
+"""Interpreter semantics: arithmetic, tables, control flow, scoping."""
+
+import math
+
+import pytest
+
+from repro.luapolicy import (
+    LuaBudgetExceeded,
+    LuaRuntimeError,
+    LuaTable,
+    run_policy,
+)
+
+
+def value_of(source, name="x", **bindings):
+    return run_policy(source, bindings or None).python_value(name)
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert value_of("x = 2 + 3 * 4") == 14.0
+        assert value_of("x = (2 + 3) * 4") == 20.0
+        assert value_of("x = 7 / 2") == 3.5
+        assert value_of("x = 2 ^ 10") == 1024.0
+
+    def test_lua_modulo_follows_floor_division(self):
+        assert value_of("x = 7 % 3") == 1.0
+        assert value_of("x = -7 % 3") == 2.0  # Lua: a - floor(a/b)*b
+        assert value_of("x = 7 % -3") == -2.0
+
+    def test_division_by_zero_gives_infinity(self):
+        assert value_of("x = 1 / 0") == math.inf
+        assert value_of("x = -1 / 0") == -math.inf
+        assert math.isnan(value_of("x = 0 / 0"))
+
+    def test_unary_minus(self):
+        assert value_of("x = -(3 + 4)") == -7.0
+
+    def test_negative_power_precedence(self):
+        assert value_of("x = -2^2") == -4.0
+
+    def test_string_coercion_in_arithmetic(self):
+        assert value_of('x = "10" + 5') == 15.0
+
+    def test_arith_on_nil_raises(self):
+        with pytest.raises(LuaRuntimeError):
+            run_policy("x = nil + 1")
+
+    def test_arith_on_boolean_raises(self):
+        with pytest.raises(LuaRuntimeError):
+            run_policy("x = true * 2")
+
+
+class TestComparisonAndLogic:
+    def test_comparisons(self):
+        assert value_of("x = 1 < 2") is True
+        assert value_of("x = 2 <= 2") is True
+        assert value_of("x = 3 ~= 4") is True
+        assert value_of("x = 3 == 3.0") is True
+
+    def test_string_comparison(self):
+        assert value_of('x = "a" < "b"') is True
+
+    def test_mixed_comparison_raises(self):
+        with pytest.raises(LuaRuntimeError):
+            run_policy('x = 1 < "2"')
+
+    def test_equality_across_types_is_false(self):
+        assert value_of('x = 1 == "1"') is False
+        assert value_of("x = nil == false") is False
+
+    def test_and_or_return_operands(self):
+        assert value_of("x = nil or 5") == 5.0
+        assert value_of("x = false and 5") is False
+        assert value_of("x = 1 and 2") == 2.0
+        assert value_of("x = 0 or 9") == 0.0  # 0 is truthy in Lua!
+
+    def test_short_circuit_avoids_side_effects(self):
+        result = run_policy("""
+        called = false
+        local function f() called = true return 1 end
+        x = false and f()
+        """)
+        assert result.python_value("called") is False
+
+    def test_not(self):
+        assert value_of("x = not nil") is True
+        assert value_of("x = not 0") is False  # 0 truthy
+
+
+class TestStrings:
+    def test_concat(self):
+        assert value_of('x = "a" .. "b"') == "ab"
+
+    def test_concat_numbers_format_like_lua(self):
+        assert value_of('x = "n=" .. 3') == "n=3"
+        assert value_of('x = "n=" .. 3.5') == "n=3.5"
+
+    def test_concat_nil_raises(self):
+        with pytest.raises(LuaRuntimeError):
+            run_policy('x = "a" .. nil')
+
+    def test_length_of_string(self):
+        assert value_of('x = #"hello"') == 5.0
+
+
+class TestTables:
+    def test_constructor_and_index(self):
+        assert value_of("t = {10, 20, 30} x = t[2]") == 20.0
+
+    def test_named_fields(self):
+        assert value_of('t = {load = 5} x = t.load') == 5.0
+        assert value_of('t = {load = 5} x = t["load"]') == 5.0
+
+    def test_length(self):
+        assert value_of("t = {1, 2, 3} x = #t") == 3.0
+
+    def test_length_stops_at_hole(self):
+        assert value_of("t = {} t[1]=1 t[2]=2 t[4]=4 x = #t") == 2.0
+
+    def test_integral_float_keys_collapse(self):
+        assert value_of("t = {} t[1.0] = 7 x = t[1]") == 7.0
+
+    def test_assigning_nil_removes_key(self):
+        assert value_of("t = {1, 2} t[2] = nil x = #t") == 1.0
+
+    def test_missing_key_is_nil(self):
+        assert value_of("t = {} x = t[99] == nil") is True
+
+    def test_nil_index_raises_on_write(self):
+        with pytest.raises(LuaRuntimeError):
+            run_policy("t = {} t[nil] = 1")
+
+    def test_indexing_non_table_raises(self):
+        with pytest.raises(LuaRuntimeError):
+            run_policy("x = 5 y = x[1]")
+
+    def test_nested_tables(self):
+        source = """
+        MDSs = {}
+        MDSs[1] = {load = 10, cpu = 50}
+        MDSs[2] = {load = 0, cpu = 5}
+        x = MDSs[1]["load"] + MDSs[2]["cpu"]
+        """
+        assert value_of(source) == 15.0
+
+
+class TestControlFlow:
+    def test_if_branches(self):
+        assert value_of("if 1 < 2 then x = 1 else x = 2 end") == 1.0
+        assert value_of("if 1 > 2 then x = 1 else x = 2 end") == 2.0
+
+    def test_elseif_chain(self):
+        source = "a = 5 if a < 3 then x=1 elseif a < 7 then x=2 else x=3 end"
+        assert value_of(source) == 2.0
+
+    def test_while_loop(self):
+        assert value_of("x = 0 while x < 10 do x = x + 1 end") == 10.0
+
+    def test_while_break(self):
+        assert value_of(
+            "x = 0 while true do x = x + 1 if x == 3 then break end end"
+        ) == 3.0
+
+    def test_repeat_until(self):
+        assert value_of("x = 0 repeat x = x + 1 until x >= 4") == 4.0
+
+    def test_repeat_condition_sees_body_locals(self):
+        assert value_of(
+            "x = 0 repeat local done = x > 2 x = x + 1 until done"
+        ) == 4.0
+
+    def test_numeric_for(self):
+        assert value_of("x = 0 for i = 1, 5 do x = x + i end") == 15.0
+
+    def test_numeric_for_step(self):
+        assert value_of("x = 0 for i = 10, 1, -2 do x = x + 1 end") == 5.0
+
+    def test_numeric_for_zero_step_raises(self):
+        with pytest.raises(LuaRuntimeError):
+            run_policy("for i = 1, 5, 0 do end")
+
+    def test_numeric_for_empty_range(self):
+        assert value_of("x = 0 for i = 5, 1 do x = x + 1 end") == 0.0
+
+    def test_generic_for_pairs(self):
+        assert value_of(
+            "t = {2, 4, 6} x = 0 for k, v in pairs(t) do x = x + v end"
+        ) == 12.0
+
+    def test_generic_for_break(self):
+        assert value_of(
+            "t = {1,2,3,4} x = 0 "
+            "for _, v in ipairs(t) do if v > 2 then break end x = x + v end"
+        ) == 3.0
+
+
+class TestFunctionsAndScope:
+    def test_function_call_and_return(self):
+        assert value_of("local function add(a, b) return a + b end "
+                        "x = add(2, 3)") == 5.0
+
+    def test_missing_args_are_nil(self):
+        assert value_of("local function f(a, b) return b == nil end "
+                        "x = f(1)") is True
+
+    def test_closures_capture_environment(self):
+        source = """
+        n = 10
+        local function f() return n end
+        n = 20
+        x = f()
+        """
+        assert value_of(source) == 20.0
+
+    def test_recursion(self):
+        source = """
+        function fib(n)
+          if n < 2 then return n end
+          return fib(n-1) + fib(n-2)
+        end
+        x = fib(10)
+        """
+        assert value_of(source) == 55.0
+
+    def test_deep_recursion_overflows_cleanly(self):
+        with pytest.raises(LuaRuntimeError):
+            run_policy("function f(n) return f(n+1) end x = f(0)")
+
+    def test_local_scoping_inside_blocks(self):
+        source = """
+        x = 1
+        if true then local x = 99 end
+        """
+        assert value_of(source) == 1.0
+
+    def test_global_assignment_inside_block_escapes(self):
+        source = """
+        if true then y = 7 end
+        x = y
+        """
+        assert value_of(source) == 7.0
+
+    def test_calling_non_function_raises(self):
+        with pytest.raises(LuaRuntimeError):
+            run_policy("x = 5 y = x()")
+
+    def test_listing4_shadowing_bug_reproduced(self):
+        """The paper's Listing 4 shadows builtin max with a number and then
+        calls it; real Lua errors and so do we."""
+        with pytest.raises(LuaRuntimeError):
+            run_policy("max = 0 x = max(1, max)")
+
+
+class TestBudget:
+    def test_infinite_while_loop_is_stopped(self):
+        with pytest.raises(LuaBudgetExceeded):
+            run_policy("while 1 do end", budget=5_000)
+
+    def test_infinite_recursion_budget_or_depth(self):
+        with pytest.raises((LuaBudgetExceeded, LuaRuntimeError)):
+            run_policy("function f() return f() end x = f()", budget=100_000)
+
+    def test_budget_roomy_enough_for_normal_policies(self):
+        result = run_policy(
+            "x = 0 for i = 1, 100 do x = x + i end", budget=10_000
+        )
+        assert result.python_value("x") == 5050.0
+
+    def test_instructions_counted(self):
+        result = run_policy("x = 1")
+        assert 0 < result.instructions < 100
+
+
+class TestReturn:
+    def test_chunk_return_value(self):
+        result = run_policy("return 1 + 2")
+        assert result.return_value == 3.0
+
+    def test_return_table_converts(self):
+        result = run_policy("return {a = 1, b = 2}")
+        assert result.return_value == {"a": 1.0, "b": 2.0}
+
+    def test_python_value_of_table(self):
+        result = run_policy("t = {5, 6}")
+        assert result.python_value("t") == [5.0, 6.0]
+        assert isinstance(result.global_value("t"), LuaTable)

@@ -1,0 +1,150 @@
+"""Lexer tests: tokens, comments, strings, numbers, errors."""
+
+import pytest
+
+from repro.luapolicy.errors import LuaSyntaxError
+from repro.luapolicy.lexer import tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_names_and_keywords_are_distinguished(self):
+        assert kinds("foo if bar end") == [
+            ("name", "foo"), ("keyword", "if"),
+            ("name", "bar"), ("keyword", "end"),
+        ]
+
+    def test_underscored_names(self):
+        assert kinds("_x x_y _1") == [
+            ("name", "_x"), ("name", "x_y"), ("name", "_1"),
+        ]
+
+    def test_all_keywords_recognised(self):
+        for kw in ("and", "break", "do", "else", "elseif", "end", "false",
+                   "for", "function", "if", "in", "local", "nil", "not",
+                   "or", "repeat", "return", "then", "true", "until",
+                   "while"):
+            assert kinds(kw) == [("keyword", kw)]
+
+    def test_symbols_longest_match_first(self):
+        assert kinds("== ~= <= >= .. = < >") == [
+            ("symbol", "=="), ("symbol", "~="), ("symbol", "<="),
+            ("symbol", ">="), ("symbol", ".."), ("symbol", "="),
+            ("symbol", "<"), ("symbol", ">"),
+        ]
+
+    def test_length_and_arith_symbols(self):
+        assert [k for k, _v in kinds("# + - * / % ^")] == ["symbol"] * 7
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42") == [("number", "42")]
+
+    def test_decimal(self):
+        assert kinds("3.14") == [("number", "3.14")]
+
+    def test_leading_dot(self):
+        assert kinds(".01") == [("number", ".01")]
+
+    def test_exponent(self):
+        assert kinds("1e3 2.5E-2 1e+10") == [
+            ("number", "1e3"), ("number", "2.5E-2"), ("number", "1e+10"),
+        ]
+
+    def test_hex(self):
+        assert kinds("0xFF 0x10") == [("number", "0xFF"), ("number", "0x10")]
+
+    def test_number_followed_by_concat_not_swallowed(self):
+        # "1..2" should lex as number .. number, not a malformed number.
+        assert kinds("1 .. 2") == [
+            ("number", "1"), ("symbol", ".."), ("number", "2"),
+        ]
+
+    def test_malformed_hex_raises(self):
+        with pytest.raises(LuaSyntaxError):
+            tokenize("0x")
+
+
+class TestStrings:
+    def test_double_quoted(self):
+        assert kinds('"hello"') == [("string", "hello")]
+
+    def test_single_quoted(self):
+        assert kinds("'hi'") == [("string", "hi")]
+
+    def test_escapes(self):
+        assert kinds(r'"a\nb\t\\"') == [("string", "a\nb\t\\")]
+
+    def test_decimal_escape(self):
+        assert kinds(r'"\65"') == [("string", "A")]
+
+    def test_long_string(self):
+        assert kinds("[[raw text]]") == [("string", "raw text")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LuaSyntaxError):
+            tokenize('"oops')
+
+    def test_newline_in_short_string_raises(self):
+        with pytest.raises(LuaSyntaxError):
+            tokenize('"a\nb"')
+
+    def test_invalid_escape_raises(self):
+        with pytest.raises(LuaSyntaxError):
+            tokenize(r'"\q"')
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert kinds("x = 1 -- metadata load\ny = 2") == [
+            ("name", "x"), ("symbol", "="), ("number", "1"),
+            ("name", "y"), ("symbol", "="), ("number", "2"),
+        ]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a --[[ spans\nlines ]] b") == [
+            ("name", "a"), ("name", "b"),
+        ]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LuaSyntaxError):
+            tokenize("--[[ never ends")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character_reports_position(self):
+        with pytest.raises(LuaSyntaxError) as excinfo:
+            tokenize("x = @")
+        assert excinfo.value.line == 1
+        assert excinfo.value.column == 5
+
+
+class TestPaperListings:
+    def test_listing1_lexes(self):
+        source = """
+        metaload = IWR
+        mdsload = MDSs[i]["all"]
+        if MDSs[whoami]["load"]>.01 and
+           MDSs[whoami+1]["load"]<.01 then
+        targets[whoami+1]=allmetaload/2
+        end
+        """
+        tokens = tokenize(source)
+        values = [t.value for t in tokens]
+        assert "metaload" in values
+        assert ".01" in values
+        assert "allmetaload" in values

@@ -1,0 +1,123 @@
+"""Multiple return values (Lua semantics: only the last expression of an
+expression list keeps its multiplicity)."""
+
+import pytest
+
+from repro.luapolicy import MultiValue, run_policy
+
+
+def values_of(source, *names):
+    result = run_policy(source)
+    return tuple(result.python_value(name) for name in names)
+
+
+class TestFunctionMultireturn:
+    def test_two_values_unpack(self):
+        a, b = values_of(
+            "local function f() return 1, 2 end a, b = f()", "a", "b"
+        )
+        assert (a, b) == (1.0, 2.0)
+
+    def test_missing_values_pad_nil(self):
+        a, b, c = values_of(
+            "local function f() return 1, 2 end a, b, c = f()",
+            "a", "b", "c",
+        )
+        assert (a, b, c) == (1.0, 2.0, None)
+
+    def test_extra_values_dropped(self):
+        a, = values_of(
+            "local function f() return 1, 2, 3 end a = f()", "a"
+        )
+        assert a == 1.0
+
+    def test_only_last_call_keeps_multiplicity(self):
+        a, b, c = values_of(
+            """
+            local function f() return 1, 2 end
+            a, b, c = f(), f()
+            """,
+            "a", "b", "c",
+        )
+        # First f() truncates to 1; second expands to 1, 2.
+        assert (a, b, c) == (1.0, 1.0, 2.0)
+
+    def test_single_value_context_truncates(self):
+        x, = values_of(
+            "local function f() return 10, 20 end x = f() + 1", "x"
+        )
+        assert x == 11.0
+
+    def test_multi_propagates_through_tail_return(self):
+        a, b = values_of(
+            """
+            local function inner() return 7, 8 end
+            local function outer() return inner() end
+            a, b = outer()
+            """,
+            "a", "b",
+        )
+        assert (a, b) == (7.0, 8.0)
+
+    def test_multi_expands_as_last_call_argument(self):
+        x, = values_of(
+            """
+            local function pair() return 3, 9 end
+            x = max(pair())
+            """,
+            "x",
+        )
+        assert x == 9.0
+
+    def test_multi_truncates_as_non_last_argument(self):
+        x, = values_of(
+            """
+            local function pair() return 3, 9 end
+            x = max(pair(), 5)
+            """,
+            "x",
+        )
+        assert x == 5.0
+
+    def test_local_declaration_unpacks(self):
+        x, = values_of(
+            """
+            local function f() return 4, 6 end
+            local a, b = f()
+            x = a + b
+            """,
+            "x",
+        )
+        assert x == 10.0
+
+    def test_chunk_return_multi(self):
+        result = run_policy(
+            "local function f() return 1, 2 end return f()"
+        )
+        assert result.returned == (1.0, 2.0)
+
+
+class TestStringFindMultireturn:
+    def test_find_returns_start_and_end(self):
+        s, e = values_of('s, e = string.find("hello world", "world")',
+                         "s", "e")
+        assert (s, e) == (7.0, 11.0)
+
+    def test_find_in_condition_uses_start(self):
+        x, = values_of(
+            'if string.find("abc", "b") then x = 1 else x = 0 end', "x"
+        )
+        assert x == 1.0
+
+    def test_find_miss_is_nil(self):
+        s, = values_of('s = string.find("abc", "zz")', "s")
+        assert s is None
+
+
+class TestMultiValueType:
+    def test_first(self):
+        assert MultiValue((1, 2)).first() == 1
+        assert MultiValue(()).first() is None
+
+    def test_is_tuple(self):
+        assert isinstance(MultiValue((1,)), tuple)

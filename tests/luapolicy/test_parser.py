@@ -1,0 +1,250 @@
+"""Parser tests: statement/expression grammar, precedence, errors."""
+
+import pytest
+
+from repro.luapolicy import lua_ast as ast
+from repro.luapolicy.errors import LuaSyntaxError
+from repro.luapolicy.parser import parse_chunk, parse_expression
+
+
+class TestExpressions:
+    def test_number_literal(self):
+        node = parse_expression("42")
+        assert isinstance(node, ast.NumberLiteral)
+        assert node.value == 42.0
+
+    def test_hex_literal(self):
+        assert parse_expression("0x10").value == 16.0
+
+    def test_string_literal(self):
+        assert parse_expression('"x"').value == "x"
+
+    def test_nil_true_false(self):
+        assert isinstance(parse_expression("nil"), ast.NilLiteral)
+        assert parse_expression("true").value is True
+        assert parse_expression("false").value is False
+
+    def test_precedence_mul_over_add(self):
+        node = parse_expression("1 + 2 * 3")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_precedence_comparison_below_arith(self):
+        node = parse_expression("a + 1 > b * 2")
+        assert node.op == ">"
+
+    def test_and_or_lowest(self):
+        node = parse_expression("a > 1 and b < 2 or c")
+        assert node.op == "or"
+        assert node.left.op == "and"
+
+    def test_concat_right_associative(self):
+        node = parse_expression('"a" .. "b" .. "c"')
+        assert node.op == ".."
+        assert isinstance(node.left, ast.StringLiteral)
+        assert node.right.op == ".."
+
+    def test_power_right_associative(self):
+        node = parse_expression("2 ^ 3 ^ 2")
+        assert node.op == "^"
+        assert node.right.op == "^"
+
+    def test_unary_minus_binds_tighter_than_mul(self):
+        node = parse_expression("-a * b")
+        assert node.op == "*"
+        assert isinstance(node.left, ast.UnaryOp)
+
+    def test_power_binds_tighter_than_unary(self):
+        # Lua: -2^2 == -(2^2)
+        node = parse_expression("-2^2")
+        assert isinstance(node, ast.UnaryOp)
+        assert node.operand.op == "^"
+
+    def test_parenthesised_grouping(self):
+        node = parse_expression("(1 + 2) * 3")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_index_chain(self):
+        node = parse_expression('MDSs[i]["load"]')
+        assert isinstance(node, ast.Index)
+        assert isinstance(node.obj, ast.Index)
+        assert node.obj.obj.name == "MDSs"
+
+    def test_dot_sugar(self):
+        node = parse_expression("math.floor")
+        assert isinstance(node, ast.Index)
+        assert node.key.value == "floor"
+
+    def test_call_with_args(self):
+        node = parse_expression("max(a, b)")
+        assert isinstance(node, ast.Call)
+        assert len(node.args) == 2
+
+    def test_call_chain(self):
+        node = parse_expression("f(1)(2)")
+        assert isinstance(node, ast.Call)
+        assert isinstance(node.func, ast.Call)
+
+    def test_length_operator(self):
+        node = parse_expression("#MDSs")
+        assert isinstance(node, ast.UnaryOp)
+        assert node.op == "#"
+
+    def test_table_constructor_array(self):
+        node = parse_expression('{"half", "small"}')
+        assert isinstance(node, ast.TableConstructor)
+        assert len(node.fields) == 2
+        assert node.fields[0].key is None
+
+    def test_table_constructor_named(self):
+        node = parse_expression("{a = 1, [2] = 3}")
+        assert node.fields[0].key.value == "a"
+        assert node.fields[1].key.value == 2.0
+
+    def test_anonymous_function(self):
+        node = parse_expression("function(a, b) return a end")
+        assert isinstance(node, ast.FunctionExpr)
+        assert node.params == ("a", "b")
+
+    def test_method_call_rejected(self):
+        with pytest.raises(LuaSyntaxError):
+            parse_expression("obj:method()")
+
+
+class TestStatements:
+    def test_assignment(self):
+        block = parse_chunk("x = 1")
+        assert isinstance(block.statements[0], ast.Assign)
+
+    def test_multiple_assignment(self):
+        stmt = parse_chunk("a, b = 1, 2").statements[0]
+        assert len(stmt.targets) == 2
+        assert len(stmt.values) == 2
+
+    def test_index_assignment(self):
+        stmt = parse_chunk("targets[i] = 5").statements[0]
+        assert isinstance(stmt.targets[0], ast.Index)
+
+    def test_local(self):
+        stmt = parse_chunk("local x, y = 1").statements[0]
+        assert isinstance(stmt, ast.LocalAssign)
+        assert stmt.names == ("x", "y")
+
+    def test_if_elseif_else(self):
+        stmt = parse_chunk("""
+        if a then x = 1
+        elseif b then x = 2
+        else x = 3 end
+        """).statements[0]
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.branches) == 2
+        assert len(stmt.orelse.statements) == 1
+
+    def test_while(self):
+        stmt = parse_chunk("while x < 10 do x = x + 1 end").statements[0]
+        assert isinstance(stmt, ast.While)
+
+    def test_repeat_until(self):
+        stmt = parse_chunk("repeat x = x + 1 until x > 3").statements[0]
+        assert isinstance(stmt, ast.Repeat)
+
+    def test_numeric_for(self):
+        stmt = parse_chunk("for i=1,#MDSs do t = i end").statements[0]
+        assert isinstance(stmt, ast.NumericFor)
+        assert stmt.var == "i"
+        assert stmt.step is None
+
+    def test_numeric_for_with_step(self):
+        stmt = parse_chunk("for i=10,1,-1 do x = i end").statements[0]
+        assert stmt.step is not None
+
+    def test_generic_for(self):
+        stmt = parse_chunk("for k, v in pairs(t) do x = v end").statements[0]
+        assert isinstance(stmt, ast.GenericFor)
+        assert stmt.names == ("k", "v")
+
+    def test_function_declaration(self):
+        stmt = parse_chunk("function f(x) return x end").statements[0]
+        assert isinstance(stmt, ast.FunctionDecl)
+        assert not stmt.is_local
+
+    def test_local_function(self):
+        stmt = parse_chunk("local function f() end").statements[0]
+        assert stmt.is_local
+
+    def test_return_ends_block(self):
+        block = parse_chunk("return 1")
+        assert isinstance(block.statements[-1], ast.Return)
+
+    def test_bare_return(self):
+        stmt = parse_chunk("return").statements[0]
+        assert stmt.values == ()
+
+    def test_break(self):
+        block = parse_chunk("while true do break end")
+        inner = block.statements[0].body.statements[0]
+        assert isinstance(inner, ast.Break)
+
+    def test_do_block(self):
+        stmt = parse_chunk("do x = 1 end").statements[0]
+        assert isinstance(stmt, ast.Do)
+
+    def test_call_statement(self):
+        stmt = parse_chunk("WRstate(2)").statements[0]
+        assert isinstance(stmt, ast.CallStmt)
+
+    def test_semicolons_allowed(self):
+        block = parse_chunk("x = 1; y = 2;")
+        assert len(block.statements) == 2
+
+
+class TestErrors:
+    def test_bare_expression_statement_rejected(self):
+        with pytest.raises(LuaSyntaxError):
+            parse_chunk("x + 1")
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(LuaSyntaxError):
+            parse_chunk("if x then y = 1")
+
+    def test_missing_then_rejected(self):
+        with pytest.raises(LuaSyntaxError):
+            parse_chunk("if x y = 1 end")
+
+    def test_assign_to_literal_rejected(self):
+        with pytest.raises(LuaSyntaxError):
+            parse_chunk("1 = 2")
+
+    def test_garbage_after_expression_rejected(self):
+        with pytest.raises(LuaSyntaxError):
+            parse_expression("1 2")
+
+    def test_varargs_rejected(self):
+        with pytest.raises(LuaSyntaxError):
+            parse_chunk("function f(...) end")
+
+
+class TestPaperListings:
+    """The paper's listings (as shipped in repro.core.policies) must parse."""
+
+    def test_listing4_where_parses(self):
+        parse_chunk("""
+        targetLoad=total/#MDSs
+        for i=1,#MDSs do
+          if MDSs[i]["load"]<targetLoad then
+            targets[i]=targetLoad-MDSs[i]["load"]
+          end
+        end
+        """)
+
+    def test_listing3_when_parses(self):
+        parse_chunk("""
+        wait = RDstate() or 0
+        go = 0
+        if MDSs[whoami]["cpu"] > 48 then
+          if wait > 0 then WRstate(wait-1)
+          else WRstate(2); go = 1 end
+        else WRstate(2) end
+        go = (go == 1)
+        """)

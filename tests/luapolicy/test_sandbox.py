@@ -1,0 +1,87 @@
+"""Sandbox facade: compilation, bindings, expression evaluation."""
+
+import pytest
+
+from repro.luapolicy import (
+    LuaSyntaxError,
+    compile_load_expression,
+    compile_policy,
+    evaluate_expression,
+    run_policy,
+)
+
+
+class TestCompilePolicy:
+    def test_compile_once_run_many(self):
+        compiled = compile_policy("x = a + 1")
+        assert compiled.run({"a": 1}).python_value("x") == 2.0
+        assert compiled.run({"a": 10}).python_value("x") == 11.0
+
+    def test_runs_are_isolated(self):
+        compiled = compile_policy("count = (count or 0) + 1")
+        first = compiled.run()
+        second = compiled.run()
+        assert first.python_value("count") == 1.0
+        assert second.python_value("count") == 1.0
+
+    def test_syntax_error_at_compile_time(self):
+        with pytest.raises(LuaSyntaxError):
+            compile_policy("if then end")
+
+    def test_bindings_convert_python_values(self):
+        result = run_policy(
+            "x = MDSs[1]['cpu']",
+            {"MDSs": [{"cpu": 55}]},
+        )
+        assert result.python_value("x") == 55.0
+
+    def test_callable_bindings(self):
+        calls = []
+        result = run_policy(
+            "WRstate(5) x = RDstate()",
+            {"WRstate": lambda v=None: calls.append(v),
+             "RDstate": lambda: 42.0},
+        )
+        assert calls == [5.0]
+        assert result.python_value("x") == 42.0
+
+
+class TestLoadExpressions:
+    def test_bare_expression(self):
+        compiled = compile_load_expression("IRD + 2*IWR")
+        result = compiled.run({"IRD": 3, "IWR": 4})
+        assert result.return_value == 11.0
+
+    def test_cephfs_metaload_formula(self):
+        value = evaluate_expression(
+            "IRD + 2*IWR + READDIR + 2*FETCH + 4*STORE",
+            dict(IRD=1, IWR=1, READDIR=1, FETCH=1, STORE=1),
+        )
+        assert value == 10.0
+
+    def test_cephfs_mdsload_formula(self):
+        value = evaluate_expression(
+            '0.8*MDSs[i]["auth"] + 0.2*MDSs[i]["all"] + MDSs[i]["req"]'
+            ' + 10*MDSs[i]["q"]',
+            {"MDSs": [{"auth": 10, "all": 20, "req": 5, "q": 2}], "i": 1},
+        )
+        assert value == pytest.approx(0.8 * 10 + 0.2 * 20 + 5 + 20)
+
+    def test_statement_chunk_fallback(self):
+        # A chunk (not a bare expression) is also accepted.
+        compiled = compile_load_expression(
+            "local a = IWR * 2\nmetaload = a + IRD"
+        )
+        result = compiled.run({"IWR": 3, "IRD": 1})
+        assert result.global_value("metaload") == 7.0
+
+    def test_single_metric(self):
+        assert evaluate_expression("IWR", {"IWR": 9}) == 9.0
+
+
+class TestPolicyResult:
+    def test_missing_global_is_none(self):
+        assert run_policy("x = 1").python_value("nope") is None
+
+    def test_return_value_none_without_return(self):
+        assert run_policy("x = 1").return_value is None

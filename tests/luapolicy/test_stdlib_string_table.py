@@ -1,0 +1,137 @@
+"""string.* and table.* library functions available to policies."""
+
+import pytest
+
+from repro.luapolicy import LuaRuntimeError, run_policy
+
+
+def value_of(source, name="x"):
+    return run_policy(source).python_value(name)
+
+
+class TestStringLibrary:
+    def test_len(self):
+        assert value_of('x = string.len("hello")') == 5.0
+
+    def test_sub(self):
+        assert value_of('x = string.sub("balancer", 1, 3)') == "bal"
+        assert value_of('x = string.sub("balancer", -3)') == "cer"
+        assert value_of('x = string.sub("abc", 5, 9)') == ""
+
+    def test_upper_lower(self):
+        assert value_of('x = string.upper("mds")') == "MDS"
+        assert value_of('x = string.lower("MDS")') == "mds"
+
+    def test_rep_reverse(self):
+        assert value_of('x = string.rep("ab", 3)') == "ababab"
+        assert value_of('x = string.reverse("abc")') == "cba"
+
+    def test_byte_char(self):
+        assert value_of('x = string.byte("A")') == 65.0
+        assert value_of('x = string.char(77, 68, 83)') == "MDS"
+        assert value_of('x = string.byte("abc", -1)') == ord("c")
+        assert value_of('x = string.byte("abc", 9) == nil') is True
+
+    def test_find_plain(self):
+        assert value_of('x = string.find("mds.0.log", ".log")') == 6.0
+        assert value_of('x = string.find("abc", "zz") == nil') is True
+
+    def test_format_numbers(self):
+        assert value_of('x = string.format("%d reqs", 1500)') == "1500 reqs"
+        assert value_of('x = string.format("%.2f", 3.14159)') == "3.14"
+        assert value_of('x = string.format("%5d|", 42)') == "   42|"
+        assert value_of('x = string.format("%x", 255)') == "ff"
+
+    def test_format_strings_and_percent(self):
+        assert value_of('x = string.format("%s=%s", "a", 1)') == "a=1"
+        assert value_of('x = string.format("100%%")') == "100%"
+
+    def test_format_missing_argument(self):
+        with pytest.raises(LuaRuntimeError, match="no value"):
+            run_policy('x = string.format("%d")')
+
+    def test_format_invalid_spec(self):
+        with pytest.raises(LuaRuntimeError, match="invalid conversion"):
+            run_policy('x = string.format("%z", 1)')
+
+    def test_string_coercion_of_numbers(self):
+        assert value_of("x = string.len(1234)") == 4.0
+
+
+class TestTableLibrary:
+    def test_insert_appends(self):
+        assert value_of("t = {1, 2} table.insert(t, 9) x = t[3]") == 9.0
+
+    def test_insert_at_position_shifts(self):
+        result = run_policy("t = {1, 2, 3} table.insert(t, 2, 9)")
+        assert result.python_value("t") == [1.0, 9.0, 2.0, 3.0]
+
+    def test_insert_out_of_bounds(self):
+        with pytest.raises(LuaRuntimeError, match="out of bounds"):
+            run_policy("t = {1} table.insert(t, 5, 9)")
+
+    def test_remove_last(self):
+        result = run_policy("t = {1, 2, 3} x = table.remove(t)")
+        assert result.python_value("x") == 3.0
+        assert result.python_value("t") == [1.0, 2.0]
+
+    def test_remove_at_position(self):
+        result = run_policy("t = {1, 2, 3} x = table.remove(t, 1)")
+        assert result.python_value("x") == 1.0
+        assert result.python_value("t") == [2.0, 3.0]
+
+    def test_remove_from_empty(self):
+        assert value_of("t = {} x = table.remove(t) == nil") is True
+
+    def test_concat(self):
+        assert value_of('t = {1, 2, 3} x = table.concat(t, ",")') == "1,2,3"
+        assert value_of('t = {"a", "b"} x = table.concat(t)') == "ab"
+
+    def test_concat_range(self):
+        assert value_of(
+            't = {1, 2, 3, 4} x = table.concat(t, "-", 2, 3)'
+        ) == "2-3"
+
+    def test_concat_rejects_tables(self):
+        with pytest.raises(LuaRuntimeError, match="invalid value"):
+            run_policy("t = {{}} x = table.concat(t)")
+
+    def test_sort_numbers(self):
+        result = run_policy("t = {3, 1, 2} table.sort(t)")
+        assert result.python_value("t") == [1.0, 2.0, 3.0]
+
+    def test_sort_strings(self):
+        result = run_policy('t = {"b", "a"} table.sort(t)')
+        assert result.python_value("t") == ["a", "b"]
+
+    def test_sort_comparator_rejected(self):
+        with pytest.raises(LuaRuntimeError, match="not supported"):
+            run_policy(
+                "t = {1, 2} table.sort(t, function(a, b) return a > b end)"
+            )
+
+    def test_sort_mixed_types_rejected(self):
+        with pytest.raises(LuaRuntimeError):
+            run_policy('t = {1, "a"} table.sort(t)')
+
+
+class TestSandboxHoles:
+    """Dangerous Lua facilities must be absent."""
+
+    @pytest.mark.parametrize("name", ["os", "io", "require", "dofile",
+                                      "loadstring", "load", "package",
+                                      "getmetatable", "setmetatable",
+                                      "rawset", "collectgarbage"])
+    def test_absent(self, name):
+        assert value_of(f"x = {name} == nil") is True
+
+    def test_policy_using_string_and_table_libs(self):
+        """A realistic policy fragment exercising both libraries."""
+        result = run_policy("""
+        loads = {}
+        for i = 1, 5 do table.insert(loads, i * 2) end
+        table.sort(loads)
+        summary = string.format("max=%d list=%s", loads[#loads],
+                                table.concat(loads, "/"))
+        """)
+        assert result.python_value("summary") == "max=10 list=2/4/6/8/10"

@@ -1,0 +1,165 @@
+"""LuaTable semantics and Python<->Lua conversion, with property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.luapolicy.errors import LuaRuntimeError
+from repro.luapolicy.values import (
+    LuaTable,
+    from_python,
+    is_truthy,
+    lua_repr,
+    to_python,
+    type_name,
+)
+
+
+class TestTruthiness:
+    def test_only_nil_and_false_are_falsy(self):
+        assert not is_truthy(None)
+        assert not is_truthy(False)
+        assert is_truthy(0)
+        assert is_truthy(0.0)
+        assert is_truthy("")
+        assert is_truthy(LuaTable())
+
+
+class TestTypeName:
+    @pytest.mark.parametrize("value,name", [
+        (None, "nil"), (True, "boolean"), (1.5, "number"),
+        ("s", "string"), (LuaTable(), "table"), (len, "function"),
+    ])
+    def test_names(self, value, name):
+        assert type_name(value) == name
+
+
+class TestLuaRepr:
+    def test_integral_floats_print_without_decimal(self):
+        assert lua_repr(3.0) == "3"
+        assert lua_repr(-2.0) == "-2"
+
+    def test_fractional(self):
+        assert lua_repr(3.5) == "3.5"
+
+    def test_nil_and_bools(self):
+        assert lua_repr(None) == "nil"
+        assert lua_repr(True) == "true"
+        assert lua_repr(False) == "false"
+
+
+class TestLuaTable:
+    def test_array_part(self):
+        table = LuaTable(array=[10, 20, 30])
+        assert table.length() == 3
+        assert table.get(1) == 10
+        assert table.get(3.0) == 30
+
+    def test_set_get_roundtrip(self):
+        table = LuaTable()
+        table.set("k", "v")
+        assert table.get("k") == "v"
+
+    def test_nil_value_deletes(self):
+        table = LuaTable(array=[1, 2, 3])
+        table.set(3, None)
+        assert table.length() == 2
+
+    def test_nil_key_read_returns_nil(self):
+        assert LuaTable().get(None) is None
+
+    def test_nil_key_write_raises(self):
+        with pytest.raises(LuaRuntimeError):
+            LuaTable().set(None, 1)
+
+    def test_nan_key_raises(self):
+        with pytest.raises(LuaRuntimeError):
+            LuaTable().set(float("nan"), 1)
+
+    def test_length_border_with_hole(self):
+        table = LuaTable()
+        table.set(1, "a")
+        table.set(2, "b")
+        table.set(5, "e")
+        assert table.length() == 2
+
+    def test_pairs_covers_everything(self):
+        table = LuaTable(array=[1, 2], hash_part={"k": "v"})
+        items = dict(table.lua_pairs())
+        assert items == {1.0: 1, 2.0: 2, "k": "v"}
+
+    def test_ipairs_only_array_part(self):
+        table = LuaTable(array=[1, 2], hash_part={"k": "v", 9: "x"})
+        assert [v for _i, v in table.lua_ipairs()] == [1, 2]
+
+    def test_bool_key_not_confused_with_int(self):
+        table = LuaTable()
+        table.set(True, "t")
+        table.set(1, "one")
+        assert table.get(True) == "t"
+        assert table.get(1) == "one"
+
+
+class TestConversion:
+    def test_from_python_scalars(self):
+        assert from_python(5) == 5.0
+        assert isinstance(from_python(5), float)
+        assert from_python("x") == "x"
+        assert from_python(None) is None
+        assert from_python(True) is True
+
+    def test_from_python_list(self):
+        table = from_python([1, 2])
+        assert isinstance(table, LuaTable)
+        assert table.get(1) == 1.0
+
+    def test_from_python_nested_dict(self):
+        table = from_python({"a": {"b": 2}})
+        assert table.get("a").get("b") == 2.0
+
+    def test_from_python_rejects_objects(self):
+        with pytest.raises(LuaRuntimeError):
+            from_python(object())
+
+    def test_to_python_array(self):
+        assert to_python(LuaTable(array=[1, 2])) == [1, 2]
+
+    def test_to_python_map(self):
+        assert to_python(LuaTable(hash_part={"k": 1})) == {"k": 1}
+
+
+class TestConversionProperties:
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False),
+                    max_size=20))
+    def test_list_roundtrip(self, values):
+        assert to_python(from_python(values)) == values
+
+    @given(st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.one_of(st.floats(allow_nan=False, allow_infinity=False),
+                  st.text(max_size=5), st.booleans()),
+        max_size=10,
+    ))
+    def test_dict_roundtrip(self, mapping):
+        table = from_python(mapping)
+        result = to_python(table)
+        if mapping:
+            assert result == mapping
+        else:
+            assert result == []  # empty table is an empty array
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1,
+                    max_size=30))
+    def test_length_matches_array_size(self, values):
+        table = from_python(values)
+        assert table.length() == len(values)
+
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=30, unique=True))
+    def test_length_is_a_border(self, keys):
+        """#t == n implies t[n] exists and t[n+1] does not."""
+        table = LuaTable()
+        for key in keys:
+            table.set(key, key)
+        n = table.length()
+        if n > 0:
+            assert table.get(n) is not None
+        assert table.get(n + 1) is None

@@ -1,0 +1,85 @@
+"""Inode cache: LRU semantics and accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mds.cache import InodeCache
+
+
+class TestLru:
+    def test_hit_and_miss(self):
+        cache = InodeCache(capacity=10)
+        assert cache.touch(1) is False  # miss inserts
+        assert cache.touch(1) is True
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_eviction_at_capacity(self):
+        cache = InodeCache(capacity=3)
+        for ino in (1, 2, 3, 4):
+            cache.touch(ino)
+        assert 1 not in cache
+        assert 4 in cache
+        assert cache.evictions == 1
+
+    def test_touch_refreshes_recency(self):
+        cache = InodeCache(capacity=3)
+        for ino in (1, 2, 3):
+            cache.touch(ino)
+        cache.touch(1)  # 2 is now the LRU
+        cache.touch(4)
+        assert 2 not in cache
+        assert 1 in cache
+
+    def test_insert_no_stats(self):
+        cache = InodeCache(capacity=2)
+        cache.insert(5)
+        assert cache.hits == 0 and cache.misses == 0
+        assert 5 in cache
+
+    def test_drop(self):
+        cache = InodeCache(capacity=2)
+        cache.insert(5)
+        cache.drop(5)
+        assert 5 not in cache
+        cache.drop(99)  # no-op
+
+    def test_clear(self):
+        cache = InodeCache(capacity=5)
+        for ino in range(5):
+            cache.insert(ino)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_fill_fraction(self):
+        cache = InodeCache(capacity=4)
+        cache.insert(1)
+        cache.insert(2)
+        assert cache.fill_fraction == pytest.approx(0.5)
+
+    def test_hit_rate(self):
+        cache = InodeCache(capacity=4)
+        cache.touch(1)
+        cache.touch(1)
+        cache.touch(1)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+        assert InodeCache(4).hit_rate == 0.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            InodeCache(0)
+
+    @given(st.lists(st.integers(0, 50), max_size=200),
+           st.integers(min_value=1, max_value=10))
+    def test_never_exceeds_capacity(self, touches, capacity):
+        cache = InodeCache(capacity=capacity)
+        for ino in touches:
+            cache.touch(ino)
+        assert len(cache) <= capacity
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=100))
+    def test_most_recent_always_cached(self, touches):
+        cache = InodeCache(capacity=3)
+        for ino in touches:
+            cache.touch(ino)
+        assert touches[-1] in cache

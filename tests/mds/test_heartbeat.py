@@ -1,0 +1,55 @@
+"""Heartbeat snapshots and the stale-view table."""
+
+import pytest
+
+from repro.mds.heartbeat import HeartBeat, HeartbeatTable
+
+
+def beat(rank=0, sent_at=0.0, **overrides):
+    fields = dict(
+        rank=rank, sent_at=sent_at, auth_metaload=10.0, all_metaload=12.0,
+        cpu=50.0, mem=20.0, queue_length=3.0, request_rate=1000.0,
+    )
+    fields.update(overrides)
+    return HeartBeat(**fields)
+
+
+class TestHeartBeat:
+    def test_as_metrics_matches_table2_keys(self):
+        metrics = beat().as_metrics()
+        assert set(metrics) == {"auth", "all", "cpu", "mem", "q", "req"}
+        assert metrics["auth"] == 10.0
+        assert metrics["q"] == 3.0
+
+
+class TestHeartbeatTable:
+    def test_store_and_get(self):
+        table = HeartbeatTable()
+        table.store(beat(rank=1, sent_at=5.0), now=5.2)
+        assert table.get(1).sent_at == 5.0
+        assert table.get(2) is None
+
+    def test_newer_beat_replaces_older(self):
+        table = HeartbeatTable()
+        table.store(beat(rank=0, sent_at=10.0, cpu=80.0), now=10.1)
+        table.store(beat(rank=0, sent_at=20.0, cpu=30.0), now=20.1)
+        assert table.get(0).cpu == 30.0
+
+    def test_stale_beat_does_not_regress(self):
+        table = HeartbeatTable()
+        table.store(beat(rank=0, sent_at=20.0), now=20.1)
+        table.store(beat(rank=0, sent_at=10.0), now=25.0)  # late arrival
+        assert table.get(0).sent_at == 20.0
+
+    def test_staleness(self):
+        table = HeartbeatTable()
+        table.store(beat(rank=0, sent_at=10.0), now=10.1)
+        assert table.staleness(0, now=14.0) == pytest.approx(4.0)
+        assert table.staleness(9, now=14.0) == float("inf")
+
+    def test_have_all(self):
+        table = HeartbeatTable()
+        table.store(beat(rank=0), now=0.0)
+        assert not table.have_all(2)
+        table.store(beat(rank=1), now=0.0)
+        assert table.have_all(2)

@@ -1,0 +1,56 @@
+"""Client session tables and cap-based flushes."""
+
+from repro.mds.sessions import SessionTable
+
+
+class TestSessions:
+    def test_get_or_open_creates_once(self):
+        table = SessionTable(rank=0)
+        first = table.get_or_open(7, now=1.0)
+        second = table.get_or_open(7, now=2.0)
+        assert first is second
+        assert table.sessions_opened == 1
+        assert len(table) == 1
+
+    def test_record_request_tracks_caps(self):
+        table = SessionTable(rank=0)
+        session = table.record_request(1, "/work/shared", now=0.0)
+        assert session.requests == 1
+        assert "/work/shared" in session.cap_paths
+
+    def test_flush_under_exact_path(self):
+        table = SessionTable(rank=0)
+        table.record_request(1, "/a/b", now=0.0)
+        assert table.flush_under("/a/b") == 1
+        assert table.total_flushes == 1
+
+    def test_flush_under_prefix(self):
+        table = SessionTable(rank=0)
+        table.record_request(1, "/a/b/c", now=0.0)
+        table.record_request(2, "/a/x", now=0.0)
+        table.record_request(3, "/other", now=0.0)
+        assert table.flush_under("/a") == 2
+
+    def test_flush_does_not_match_sibling_prefix(self):
+        table = SessionTable(rank=0)
+        table.record_request(1, "/abc", now=0.0)
+        assert table.flush_under("/ab") == 0
+
+    def test_flush_under_root_matches_all(self):
+        table = SessionTable(rank=0)
+        table.record_request(1, "/x", now=0.0)
+        table.record_request(2, "/y", now=0.0)
+        assert table.flush_under("") == 2
+
+    def test_session_flush_count_per_session(self):
+        table = SessionTable(rank=0)
+        session = table.record_request(1, "/d", now=0.0)
+        table.flush_under("/d")
+        table.flush_under("/d")
+        assert session.flushes == 2
+
+    def test_each_client_counted_once_per_flush(self):
+        table = SessionTable(rank=0)
+        table.record_request(1, "/d/a", now=0.0)
+        table.record_request(1, "/d/b", now=0.0)
+        assert table.flush_under("/d") == 1

@@ -1,0 +1,86 @@
+"""Text/CSV rendering of results."""
+
+import csv
+import io
+
+from repro.cluster import run_experiment
+from repro.metrics.render import (
+    render_table,
+    render_timelines,
+    report_row,
+    reports_to_csv,
+    sparkline,
+    timeline_to_csv,
+)
+from repro.workloads import CreateWorkload
+from tests.conftest import make_config
+
+
+def small_report():
+    return run_experiment(
+        make_config(num_mds=2, num_clients=2),
+        CreateWorkload(num_clients=2, files_per_client=300),
+    )
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_scaling(self):
+        line = sparkline([0, 5, 10])
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_width_compression(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
+
+    def test_fixed_peak(self):
+        half = sparkline([5], peak=10.0)
+        assert half not in (" ", "@")
+
+    def test_all_zero(self):
+        assert sparkline([0, 0, 0]) == "   "
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "value"],
+                            [["a", 1], ["longer", 123456]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # all same width
+        assert "123456" in lines[-1]
+
+
+class TestReportRendering:
+    def test_render_timelines(self):
+        report = small_report()
+        text = render_timelines(report)
+        assert "mds0 |" in text
+        assert "mds1 |" in text
+        assert "ops" in text
+
+    def test_report_row_fields(self):
+        row = report_row(small_report())
+        assert row["num_mds"] == 2
+        assert row["total_ops"] == 602
+        assert row["makespan_s"] > 0
+        assert "latency_p99_ms" in row
+
+    def test_reports_to_csv(self):
+        reports = [small_report()]
+        text = reports_to_csv(reports)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 1
+        assert parsed[0]["total_ops"] == "602"
+        assert reports_to_csv([]) == ""
+
+    def test_timeline_to_csv(self):
+        text = timeline_to_csv(small_report())
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed[0] == ["second", "mds0", "mds1"]
+        assert len(parsed) >= 2
+        # Total ops in the CSV match the run (rate * 1s buckets).
+        total = sum(float(v) for row in parsed[1:] for v in row[1:])
+        assert round(total) == 602

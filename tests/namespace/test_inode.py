@@ -1,0 +1,29 @@
+"""Inode basics."""
+
+from repro.namespace.inode import Inode
+
+
+class TestInode:
+    def test_unique_inode_numbers(self):
+        a = Inode(name="a", is_dir=False)
+        b = Inode(name="b", is_dir=False)
+        assert a.ino != b.ino
+
+    def test_touch_updates_times(self):
+        inode = Inode(name="f", is_dir=False)
+        inode.touch(5.0)
+        assert inode.atime == 5.0
+        assert inode.mtime == 0.0
+        inode.touch(6.0, write=True)
+        assert inode.mtime == 6.0
+
+    def test_stat_snapshot(self):
+        inode = Inode(name="f", is_dir=False, mode=0o600, size=123)
+        stat = inode.stat()
+        assert stat["name"] == "f"
+        assert stat["mode"] == 0o600
+        assert stat["size"] == 123
+        assert stat["is_dir"] is False
+
+    def test_default_permissions(self):
+        assert Inode(name="f", is_dir=False).mode == 0o644

@@ -1,0 +1,124 @@
+"""RADOS cluster: replicated writes, reads, journals, OSD accounting."""
+
+import pytest
+
+from repro.rados.cluster import RadosCluster
+from repro.rados.journal import MdsJournal
+from repro.rados.osd import Osd
+from repro.sim.engine import SimEngine
+from repro.sim.network import Network
+from repro.sim.rng import RngStreams, ServiceTime
+
+
+def make_rados(num_osds=6, replicas=3):
+    engine = SimEngine()
+    rngs = RngStreams(seed=0)
+    network = Network(engine, rngs.stream("net"), base_latency=0.0001,
+                      jitter_cv=0.0)
+    rados = RadosCluster(engine, network, rngs, num_osds=num_osds,
+                         replicas=replicas)
+    return engine, rados
+
+
+class TestWrites:
+    def test_write_completes(self):
+        engine, rados = make_rados()
+        completion = rados.write("obj1", 4096)
+        engine.run_until_complete(completion)
+        assert rados.exists("obj1")
+
+    def test_write_hits_all_replicas(self):
+        engine, rados = make_rados(replicas=3)
+        engine.run_until_complete(rados.write("obj1", 4096))
+        assert rados.total_writes() == 3
+
+    def test_write_takes_time(self):
+        engine, rados = make_rados()
+        engine.run_until_complete(rados.write("obj1", 4096))
+        assert engine.now > 0
+
+    def test_many_writes_spread_over_osds(self):
+        engine, rados = make_rados(num_osds=6, replicas=1)
+        for i in range(120):
+            rados.write(f"obj{i}", 4096)
+        engine.run()
+        busy_osds = sum(1 for osd in rados.osds if osd.writes > 0)
+        assert busy_osds >= 5
+
+
+class TestReads:
+    def test_read_returns_size(self):
+        engine, rados = make_rados()
+        engine.run_until_complete(rados.write("obj1", 8192))
+        size = engine.run_until_complete(rados.read("obj1"))
+        assert size == 8192
+
+    def test_read_unknown_object_uses_default_size(self):
+        engine, rados = make_rados()
+        size = engine.run_until_complete(rados.read("ghost"))
+        assert size == 4096
+
+    def test_reads_counted(self):
+        engine, rados = make_rados()
+        engine.run_until_complete(rados.read("x", 4096))
+        assert rados.total_reads() == 1
+
+
+class TestOsd:
+    def test_journal_ack_before_disk_flush(self):
+        """Writes ack from the (fast) journal; the disk flush is async."""
+        engine = SimEngine()
+        rngs = RngStreams(seed=0)
+        osd = Osd(engine, 0, rngs.stream("osd"),
+                  journal_service=ServiceTime(0.0001, cv=0.0),
+                  disk_service=ServiceTime(0.01, cv=0.0))
+        completion = osd.write("o", 4096)
+        engine.run_until_complete(completion)
+        assert engine.now == pytest.approx(0.0001)
+        engine.run()
+        assert engine.now == pytest.approx(0.01)
+
+    def test_stats(self):
+        engine = SimEngine()
+        rngs = RngStreams(seed=0)
+        osd = Osd(engine, 3, rngs.stream("osd"),
+                  journal_service=ServiceTime(0.0001),
+                  disk_service=ServiceTime(0.001))
+        osd.write("a", 100)
+        osd.read("a", 100)
+        engine.run()
+        stats = osd.stats()
+        assert stats["osd"] == 3
+        assert stats["writes"] == 1
+        assert stats["reads"] == 1
+
+
+class TestJournal:
+    def test_log_buffers_until_segment_full(self):
+        engine, rados = make_rados()
+        journal = MdsJournal(engine, rados, rank=0,
+                             segment_bytes=2048, entry_bytes=512)
+        assert journal.log("create") is None
+        assert journal.log("create") is None
+        assert journal.log("create") is None
+        completion = journal.log("create")  # 4 * 512 = 2048 -> flush
+        assert completion is not None
+        engine.run_until_complete(completion)
+        assert journal.segments_flushed == 1
+
+    def test_log_sync_always_flushes(self):
+        engine, rados = make_rados()
+        journal = MdsJournal(engine, rados, rank=1)
+        completion = journal.log_sync("EExport", size=100)
+        engine.run_until_complete(completion)
+        assert journal.segments_flushed == 1
+        assert journal.entries_logged == 1
+
+    def test_journal_objects_per_rank(self):
+        engine, rados = make_rados()
+        j0 = MdsJournal(engine, rados, rank=0)
+        j1 = MdsJournal(engine, rados, rank=1)
+        engine.run_until_complete(j0.flush())
+        engine.run_until_complete(j1.flush())
+        assert any("mds0.journal" in name for name in rados.objects)
+        assert any("mds1.journal" in name for name in rados.objects)

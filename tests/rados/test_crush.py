@@ -1,0 +1,61 @@
+"""CRUSH-like placement: determinism, replica distinctness, balance."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rados.crush import CrushMap
+
+
+class TestPlacement:
+    def test_deterministic(self):
+        crush = CrushMap(num_osds=18, replicas=3)
+        assert crush.placement("obj1") == crush.placement("obj1")
+
+    def test_replicas_distinct(self):
+        crush = CrushMap(num_osds=18, replicas=3)
+        for i in range(100):
+            placement = crush.placement(f"obj{i}")
+            assert len(placement) == 3
+            assert len(set(placement)) == 3
+
+    def test_replicas_capped_by_osd_count(self):
+        crush = CrushMap(num_osds=2, replicas=3)
+        assert len(crush.placement("x")) == 2
+
+    def test_primary_is_first(self):
+        crush = CrushMap(num_osds=10, replicas=2)
+        placement = crush.placement("obj")
+        assert all(0 <= osd < 10 for osd in placement)
+
+    def test_roughly_uniform_primary_distribution(self):
+        crush = CrushMap(num_osds=6, replicas=1)
+        counts = Counter(crush.placement(f"o{i}")[0] for i in range(6000))
+        for osd in range(6):
+            assert counts[osd] == pytest.approx(1000, rel=0.25)
+
+    def test_stability_under_growth(self):
+        """Rendezvous hashing: adding OSDs remaps only a fraction."""
+        small = CrushMap(num_osds=10, replicas=1)
+        large = CrushMap(num_osds=11, replicas=1)
+        moved = sum(
+            small.placement(f"o{i}")[0] != large.placement(f"o{i}")[0]
+            for i in range(2000)
+        )
+        # Ideal remap fraction is 1/11 ~ 9%; allow generous slack.
+        assert moved / 2000 < 0.25
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CrushMap(0)
+        with pytest.raises(ValueError):
+            CrushMap(3, replicas=0)
+
+    @given(st.text(min_size=1, max_size=30),
+           st.integers(min_value=1, max_value=32))
+    def test_placement_in_range_property(self, obj, num_osds):
+        crush = CrushMap(num_osds=num_osds, replicas=3)
+        placement = crush.placement(obj)
+        assert all(0 <= osd < num_osds for osd in placement)
+        assert len(set(placement)) == len(placement)

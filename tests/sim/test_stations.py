@@ -1,0 +1,152 @@
+"""FIFO service stations: ordering, utilisation, pause/resume."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import SimEngine
+from repro.sim.rng import ServiceTime
+from repro.sim.stations import FifoStation
+
+
+def make_station(engine, servers=1, executor=None):
+    rng = np.random.default_rng(0)
+    return FifoStation(engine, "s", rng, servers=servers, executor=executor)
+
+
+class TestFifoOrder:
+    def test_jobs_complete_in_submission_order(self):
+        engine = SimEngine()
+        done = []
+        station = make_station(engine, executor=done.append)
+        for tag in "abc":
+            station.submit(tag, 1.0)
+        engine.run()
+        assert done == ["a", "b", "c"]
+
+    def test_completion_fires_with_executor_result(self):
+        engine = SimEngine()
+        station = make_station(engine, executor=lambda p: p * 2)
+        completion = station.submit(21, 0.5)
+        assert engine.run_until_complete(completion) == 42
+
+    def test_single_server_serialises(self):
+        engine = SimEngine()
+        finish_times = []
+        station = make_station(engine,
+                               executor=lambda p: finish_times.append(engine.now))
+        station.submit("a", 2.0)
+        station.submit("b", 2.0)
+        engine.run()
+        assert finish_times == [2.0, 4.0]
+
+    def test_multi_server_parallelises(self):
+        engine = SimEngine()
+        finish_times = []
+        station = make_station(engine, servers=2,
+                               executor=lambda p: finish_times.append(engine.now))
+        station.submit("a", 2.0)
+        station.submit("b", 2.0)
+        engine.run()
+        assert finish_times == [2.0, 2.0]
+
+    def test_queue_length(self):
+        engine = SimEngine()
+        station = make_station(engine)
+        for _ in range(4):
+            station.submit("x", 1.0)
+        assert station.in_service == 1
+        assert station.queue_length == 3
+        engine.run()
+        assert station.queue_length == 0
+
+
+class TestAccounting:
+    def test_busy_time_accumulates(self):
+        engine = SimEngine()
+        station = make_station(engine)
+        station.submit("a", 1.5)
+        station.submit("b", 0.5)
+        engine.run()
+        assert station.busy_time == pytest.approx(2.0)
+        assert station.jobs_done == 2
+
+    def test_wait_time_tracked(self):
+        engine = SimEngine()
+        station = make_station(engine)
+        station.submit("a", 2.0)
+        station.submit("b", 2.0)  # waits 2s
+        engine.run()
+        assert station.mean_wait() == pytest.approx(1.0)
+
+    def test_utilization_window_full_busy(self):
+        engine = SimEngine()
+        station = make_station(engine)
+        station.submit("a", 5.0)
+        engine.run_until(5.0)
+        assert station.utilization_since_mark() == pytest.approx(1.0)
+
+    def test_utilization_window_half_busy(self):
+        engine = SimEngine()
+        station = make_station(engine)
+        station.submit("a", 5.0)
+        engine.run_until(10.0)
+        assert station.utilization_since_mark() == pytest.approx(0.5)
+
+    def test_utilization_resets_after_mark(self):
+        engine = SimEngine()
+        station = make_station(engine)
+        station.submit("a", 5.0)
+        engine.run_until(5.0)
+        station.utilization_since_mark()
+        engine.run_until(10.0)
+        assert station.utilization_since_mark() == pytest.approx(0.0)
+
+    def test_utilization_counts_inflight_partial(self):
+        engine = SimEngine()
+        station = make_station(engine)
+        station.submit("a", 10.0)
+        engine.run_until(4.0)
+        assert station.utilization_since_mark() == pytest.approx(1.0)
+
+
+class TestPauseResume:
+    def test_pause_stops_dispatch(self):
+        engine = SimEngine()
+        done = []
+        station = make_station(engine, executor=done.append)
+        station.pause()
+        station.submit("a", 1.0)
+        engine.run()
+        assert done == []
+        station.resume()
+        engine.run()
+        assert done == ["a"]
+
+    def test_pause_does_not_interrupt_in_service(self):
+        engine = SimEngine()
+        done = []
+        station = make_station(engine, executor=done.append)
+        station.submit("a", 1.0)
+        engine.run_until(0.5)
+        station.pause()
+        engine.run_until(2.0)
+        assert done == ["a"]
+
+
+class TestServiceTimes:
+    def test_service_time_distribution_accepted(self):
+        engine = SimEngine()
+        station = make_station(engine)
+        completion = station.submit("a", ServiceTime(0.01, cv=0.0))
+        engine.run_until_complete(completion)
+        assert engine.now == pytest.approx(0.01)
+
+    def test_missing_service_rejected(self):
+        engine = SimEngine()
+        station = make_station(engine)
+        with pytest.raises(ValueError):
+            station.submit("a", None)
+
+    def test_bad_server_count_rejected(self):
+        with pytest.raises(ValueError):
+            make_station(SimEngine(), servers=0)

@@ -1,0 +1,98 @@
+"""ClusterConfig validation and SimReport surface."""
+
+import pytest
+
+from repro.cluster import run_experiment
+from repro.config import ClusterConfig, ServiceTimes
+from repro.workloads import CreateWorkload
+from tests.conftest import make_config
+
+
+class TestServiceTimes:
+    def test_mean_for_known_ops(self):
+        service = ServiceTimes()
+        for op in ("create", "mkdir", "stat", "lookup", "open",
+                   "readdir", "unlink", "forward"):
+            assert service.mean_for(op) > 0
+
+    def test_mean_for_unknown_op(self):
+        with pytest.raises(KeyError):
+            ServiceTimes().mean_for("chmod")
+
+    def test_readdir_slowest_regular_op(self):
+        service = ServiceTimes()
+        assert service.readdir > service.create > service.forward
+
+
+class TestClusterConfigValidation:
+    def test_defaults_valid(self):
+        ClusterConfig().validate()
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_mds", 0),
+        ("num_clients", -1),
+        ("heartbeat_interval", 0.0),
+        ("scatter_gather_prob", 1.5),
+        ("dir_split_bits", 0),
+    ])
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ClusterConfig(**{field: value}).validate()
+
+    def test_with_overrides_copies(self):
+        base = ClusterConfig(num_mds=2)
+        derived = base.with_overrides(num_mds=4, seed=9)
+        assert base.num_mds == 2
+        assert derived.num_mds == 4
+        assert derived.seed == 9
+        # Nested service times shared structure is fine but equality holds.
+        assert derived.net_latency == base.net_latency
+
+    def test_paper_defaults(self):
+        """Constants the paper pins explicitly."""
+        config = ClusterConfig()
+        assert config.heartbeat_interval == 10.0   # §2: every 10 seconds
+        assert config.dir_split_size == 50_000     # §4.1
+        assert config.dir_split_bits == 3          # 2^3 = 8 dirfrags
+        assert config.num_osds == 18               # testbed: 18 OSDs
+
+
+class TestSimReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_experiment(
+            make_config(num_mds=2, num_clients=2),
+            CreateWorkload(num_clients=2, files_per_client=400),
+        )
+
+    def test_throughput_consistent(self, report):
+        assert report.throughput == pytest.approx(
+            report.total_ops / report.makespan
+        )
+
+    def test_per_mds_ops_sums_to_total(self, report):
+        assert sum(report.per_mds_ops().values()) == report.total_ops
+
+    def test_client_runtimes_present(self, report):
+        assert set(report.client_runtimes) == {0, 1}
+        assert all(value > 0 for value in report.client_runtimes.values())
+
+    def test_policy_name_none_without_policy(self, report):
+        assert report.policy_name == "none"
+
+    def test_sessions_opened(self, report):
+        # Each client opened a session with at least one rank.
+        assert report.sessions_opened >= 2
+
+    def test_latency_summary_quantiles_ordered(self, report):
+        summary = report.latency_summary()
+        assert (summary.minimum <= summary.p50 <= summary.p95
+                <= summary.p99 <= summary.maximum)
+
+    def test_zero_makespan_throughput(self):
+        from repro.cluster import SimReport
+        from repro.metrics.collectors import ClusterMetrics
+        empty = SimReport(config=ClusterConfig(), policy_name="none",
+                          makespan=0.0, total_ops=0, client_runtimes={},
+                          metrics=ClusterMetrics())
+        assert empty.throughput == 0.0

@@ -1,0 +1,35 @@
+"""Smoke-run the example scripts (opt-in: they take minutes).
+
+Enable with REPRO_RUN_EXAMPLES=1; the default suite skips them to stay
+fast.  Each example must run to completion with exit code 0.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_RUN_EXAMPLES"),
+    reason="set REPRO_RUN_EXAMPLES=1 to smoke-run the example scripts",
+)
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "custom_balancer.py",
+    "compile_locality.py",
+    "flash_crowd.py",
+    "record_replay.py",
+])
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=900,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()

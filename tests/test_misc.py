@@ -1,0 +1,59 @@
+"""Odds and ends: client staggering, OSD size scaling, reprs."""
+
+import pytest
+
+from repro.clients.client import build_clients
+from repro.clients.ops import OpKind
+from repro.cluster import SimulatedCluster
+from repro.namespace.dirfrag import FragId
+from repro.rados.osd import _size_factor
+from tests.conftest import make_config
+
+
+class TestBuildClients:
+    def test_stagger_delays_starts(self):
+        cluster = SimulatedCluster(make_config(num_mds=1))
+        streams = {
+            0: iter([(OpKind.MKDIR, "/a")]),
+            1: iter([(OpKind.MKDIR, "/b")]),
+            2: iter([(OpKind.MKDIR, "/c")]),
+        }
+        clients = build_clients(cluster.engine, cluster.network,
+                                cluster.mdss, cluster.metrics, streams,
+                                stagger=1.0)
+        for client in clients:
+            client.start()
+        cluster.engine.run()
+        starts = sorted(client.started_at for client in clients)
+        assert starts == pytest.approx([0.0, 1.0, 2.0])
+
+    def test_clients_sorted_by_id(self):
+        cluster = SimulatedCluster(make_config(num_mds=1))
+        streams = {2: iter([]), 0: iter([]), 1: iter([])}
+        clients = build_clients(cluster.engine, cluster.network,
+                                cluster.mdss, cluster.metrics, streams)
+        assert [client.client_id for client in clients] == [0, 1, 2]
+
+
+class TestOsdSizeFactor:
+    def test_baseline_4k(self):
+        assert _size_factor(4096) == pytest.approx(1.0)
+
+    def test_larger_objects_cost_more_sublinearly(self):
+        assert _size_factor(16_384) == pytest.approx(2.0)
+        assert _size_factor(65_536) == pytest.approx(4.0)
+
+    def test_tiny_objects_floored(self):
+        assert _size_factor(1) == pytest.approx(0.5)
+
+
+class TestReprs:
+    def test_frag_id_repr_matches_ceph_notation(self):
+        assert repr(FragId(3, 5)) == "5*3"
+        assert repr(FragId(0, 0)) == "0*0"
+
+    def test_frag_path_includes_frag_id(self):
+        cluster = SimulatedCluster(make_config(num_mds=1))
+        d = cluster.namespace.mkdirs("/d")
+        frag = next(iter(d.frags.values()))
+        assert frag.path() == "/d#0*0"
