@@ -22,6 +22,7 @@ from .core.api import MantlePolicy
 from .core.policies import STOCK_POLICIES
 from .core.policyfile import dump_policy, load_policy_file
 from .core.validator import validate_policy
+from .faults.schedule import FaultSchedule
 from .workloads import CompileWorkload, CreateWorkload, ZipfWorkload
 
 
@@ -94,6 +95,15 @@ def cmd_run(args: argparse.Namespace) -> int:
             for problem in report.problems:
                 print(f"  {problem}", file=sys.stderr)
             return 1
+    schedule = None
+    if args.faults:
+        try:
+            schedule = FaultSchedule.from_file(args.faults)
+            schedule.validate(args.mds)
+        except (OSError, ValueError) as exc:
+            print(f"bad fault schedule {args.faults!r}: {exc}",
+                  file=sys.stderr)
+            return 1
     config = ClusterConfig(
         num_mds=args.mds,
         num_clients=args.clients,
@@ -101,13 +111,24 @@ def cmd_run(args: argparse.Namespace) -> int:
         dir_split_size=args.split_size,
         client_think_time=args.think,
     )
-    cluster = SimulatedCluster(config, policy=policy)
+    cluster = SimulatedCluster(config, policy=policy,
+                               fault_schedule=schedule)
     workload = _build_workload(args)
     result = cluster.run_workload(workload)
+    if schedule is not None:
+        cluster.quiesce()
+        result = cluster._report()
     print(result.summary_line())
     latency = result.latency_summary()
     print(f"latency: mean={latency.mean * 1e3:.3f}ms "
           f"p95={latency.p95 * 1e3:.3f}ms p99={latency.p99 * 1e3:.3f}ms")
+    if result.fault_events:
+        for event in result.fault_events:
+            where = f"mds{event.rank}" if event.rank >= 0 else "cluster"
+            detail = f" {event.detail}" if event.detail else ""
+            print(f"fault: t={event.time:8.2f}s {event.kind} {where}{detail}")
+        for rank, seconds in sorted(result.recovery_times().items()):
+            print(f"recovery: mds{rank} back after {seconds:.2f}s")
     if args.decisions:
         for decision in result.decisions:
             if decision.exports or decision.error:
@@ -161,6 +182,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=7)
     run.add_argument("--decisions", action="store_true",
                      help="print every balancing decision")
+    run.add_argument("--faults", default=None, metavar="FILE",
+                     help="JSON fault schedule to inject (see docs/FAULTS.md)")
     run.set_defaults(func=cmd_run)
     return parser
 

@@ -15,8 +15,10 @@ from .clients.client import Client, build_clients
 from .config import ClusterConfig
 from .core.api import MantlePolicy
 from .core.balancer import BalanceDecision, MantleBalancer
+from .faults.injector import FaultInjector
+from .faults.schedule import FaultSchedule
 from .mds.server import MdsServer
-from .metrics.collectors import ClusterMetrics
+from .metrics.collectors import ClusterMetrics, FaultRecord
 from .metrics.heatmap import HeatSampler
 from .metrics.stats import Summary, summarize
 from .namespace.tree import Namespace
@@ -39,6 +41,9 @@ class SimReport:
     metrics: ClusterMetrics
     decisions: list[BalanceDecision] = field(default_factory=list)
     heat: Optional[HeatSampler] = None
+    fault_events: list[FaultRecord] = field(default_factory=list)
+    #: True when the balancer's circuit breaker tripped during the run.
+    policy_tripped: bool = False
 
     @property
     def throughput(self) -> float:
@@ -63,6 +68,50 @@ class SimReport:
 
     _sessions_opened: int = 0
 
+    @property
+    def total_migrations_aborted(self) -> int:
+        return sum(m.migrations_aborted
+                   for m in self.metrics.per_mds.values())
+
+    # -- fault/recovery views -------------------------------------------
+    def recovery_times(self) -> dict[int, float]:
+        """Seconds from each rank's crash to its recovery.
+
+        Recovery is either the rank's own restart completing or a standby
+        finishing a takeover of its subtrees, whichever the trace shows
+        first.  Unrecovered crashes are omitted.
+        """
+        out: dict[int, float] = {}
+        crashed_at: dict[int, float] = {}
+        for event in self.fault_events:
+            if event.kind == "crash":
+                crashed_at.setdefault(event.rank, event.time)
+            elif event.kind == "restart":
+                start = crashed_at.pop(event.rank, None)
+                if start is not None and event.rank not in out:
+                    out[event.rank] = event.time - start
+            elif event.kind == "takeover":
+                # detail: "mds<dead>->mds<standby>, ..."
+                dead = _takeover_source(event.detail)
+                if dead is None:
+                    continue
+                start = crashed_at.pop(dead, None)
+                if start is not None and dead not in out:
+                    out[dead] = event.time - start
+        return out
+
+    def throughput_between(self, t0: float, t1: float) -> float:
+        """Mean requests/second over the window [t0, t1)."""
+        if t1 <= t0:
+            return 0.0
+        timeline = self.metrics.timeline
+        series = timeline.total_series()
+        bucket = timeline.bucket
+        first = max(0, int(t0 / bucket))
+        last = min(len(series), int(t1 / bucket))
+        ops = sum(series[i] * bucket for i in range(first, last))
+        return ops / (t1 - t0)
+
     def latency_summary(self) -> Summary:
         return summarize(self.metrics.latencies.all_latencies())
 
@@ -77,12 +126,26 @@ class SimReport:
         per_mds = " ".join(
             f"mds{rank}:{ops}" for rank, ops in self.per_mds_ops().items()
         )
+        faults = ""
+        if self.fault_events:
+            faults = (f" faults={len(self.fault_events)}"
+                      f" mig_aborted={self.total_migrations_aborted}")
+        if self.policy_tripped:
+            faults += " policy=fallback"
         return (
             f"[{self.policy_name}] makespan={self.makespan:.1f}s "
             f"ops={self.total_ops} tput={self.throughput:.0f}/s "
             f"fwd={self.total_forwards} mig={self.total_migrations} "
-            f"flush={self.total_session_flushes} | {per_mds}"
+            f"flush={self.total_session_flushes}{faults} | {per_mds}"
         )
+
+
+def _takeover_source(detail: str) -> Optional[int]:
+    """Rank a takeover record recovered, parsed from its detail string."""
+    if not detail.startswith("mds"):
+        return None
+    head = detail[3:].split("->", 1)[0]
+    return int(head) if head.isdigit() else None
 
 
 class SimulatedCluster:
@@ -91,7 +154,8 @@ class SimulatedCluster:
     def __init__(self, config: ClusterConfig,
                  policy: Optional[MantlePolicy] = None,
                  heat_sampling: float | None = None,
-                 heat_depth: int = 4) -> None:
+                 heat_depth: int = 4,
+                 fault_schedule: Optional[FaultSchedule] = None) -> None:
         config.validate()
         self.config = config
         self.engine = SimEngine()
@@ -129,11 +193,18 @@ class SimulatedCluster:
             self.heat = HeatSampler(self.engine, self.namespace,
                                     interval=heat_sampling,
                                     max_depth=heat_depth)
+        self.injector: Optional[FaultInjector] = None
+        if fault_schedule is not None and len(fault_schedule) > 0:
+            # The dedicated stream keeps no-fault runs byte-identical:
+            # without faults nothing ever draws from it.
+            self.injector = FaultInjector(self, fault_schedule,
+                                          self.rngs.stream("faults"))
 
     # -- policy injection ---------------------------------------------------
     def set_policy(self, policy: MantlePolicy) -> None:
         """Inject a Mantle policy into every rank (``ceph tell mds.*``)."""
-        self.balancer = MantleBalancer(policy)
+        self.balancer = MantleBalancer(
+            policy, error_threshold=self.config.policy_error_threshold)
         for mds in self.mdss:
             mds.balancer = self.balancer
 
@@ -184,6 +255,8 @@ class SimulatedCluster:
                      max_time: float = 36_000.0) -> SimReport:
         """Prepare, start clients and heartbeats, run to completion."""
         workload.prepare(self.namespace)
+        if self.injector is not None:
+            self.injector.arm()
         self.clients = build_clients(
             self.engine, self.network, self.mdss, self.metrics,
             workload.op_streams(),
@@ -223,10 +296,25 @@ class SimulatedCluster:
 
     def run_for(self, duration: float) -> SimReport:
         """Run without a workload for *duration* simulated seconds."""
+        if self.injector is not None:
+            self.injector.arm()
         for mds in self.mdss:
             mds.start_heartbeats()
         self.engine.run_until(self.engine.now + duration)
         return self._report()
+
+    def quiesce(self, max_time: float = 120.0) -> None:
+        """Step the engine until no export is in flight (bounded).
+
+        Clients can finish while a migration 2PC is still mid-commit; the
+        invariant checks (and byte-identical reports) want those commits
+        resolved.  Heartbeat loops never drain the heap, so this steps
+        events rather than running to empty.
+        """
+        deadline = self.engine.now + max_time
+        while any(mds.migrator.in_flight for mds in self.mdss):
+            if self.engine.now >= deadline or not self.engine.step():
+                break
 
     def _report(self) -> SimReport:
         if self.heat is not None:
@@ -242,6 +330,9 @@ class SimulatedCluster:
             decisions=(list(self.balancer.decisions)
                        if self.balancer else []),
             heat=self.heat,
+            fault_events=list(self.metrics.fault_events),
+            policy_tripped=(self.balancer.tripped
+                            if self.balancer else False),
         )
         report._sessions_opened = sum(
             mds.sessions.sessions_opened for mds in self.mdss
@@ -252,11 +343,20 @@ class SimulatedCluster:
 def run_experiment(config: ClusterConfig, workload: Workload,
                    policy: Optional[MantlePolicy] = None,
                    heat_sampling: float | None = None,
-                   max_time: float = 36_000.0) -> SimReport:
+                   max_time: float = 36_000.0,
+                   fault_schedule: Optional[FaultSchedule] = None
+                   ) -> SimReport:
     """One-shot convenience: build a cluster, run a workload, report."""
     cluster = SimulatedCluster(config, policy=policy,
-                               heat_sampling=heat_sampling)
-    return cluster.run_workload(workload, max_time=max_time)
+                               heat_sampling=heat_sampling,
+                               fault_schedule=fault_schedule)
+    report = cluster.run_workload(workload, max_time=max_time)
+    if fault_schedule is not None:
+        # Resolve any 2PC still mid-commit, then re-snapshot the report so
+        # its fault trace includes everything up to the quiesced state.
+        cluster.quiesce()
+        report = cluster._report()
+    return report
 
 
 def run_seeds(config: ClusterConfig, workload_factory, seeds,

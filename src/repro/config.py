@@ -145,6 +145,22 @@ class ClusterConfig:
     #: Every Nth create also updates the file (size/mtime), costing a STORE.
     store_every: int = 64
 
+    # Fault tolerance / recovery.
+    #: A rank whose heartbeat has not arrived for this long is declared
+    #: dead (evicted from heartbeat tables; balancers stop targeting it).
+    mds_beacon_grace: float = 15.0
+    #: How long a bounced request waits before re-resolving authority and
+    #: retrying after it hit a dead rank.
+    dead_rank_retry_delay: float = 0.050
+    #: Fixed restart cost (process respawn + cache warmup floor) before
+    #: journal replay begins.
+    restart_base_time: float = 0.5
+    #: How many trailing journal segments a restarting rank replays.
+    replay_segment_window: int = 64
+    #: Consecutive Lua errors before the balancer trips its circuit
+    #: breaker and falls back to the built-in original balancer.
+    policy_error_threshold: int = 3
+
     # Safety valve for run loops.
     max_events: int = 200_000_000
 
@@ -163,3 +179,11 @@ class ClusterConfig:
             raise ValueError("scatter_gather_prob must be a probability")
         if self.dir_split_bits < 1:
             raise ValueError("dir_split_bits must be >= 1")
+        if self.mds_beacon_grace <= 0:
+            raise ValueError("mds_beacon_grace must be positive")
+        if self.dead_rank_retry_delay <= 0:
+            raise ValueError("dead_rank_retry_delay must be positive")
+        if self.replay_segment_window < 0:
+            raise ValueError("replay_segment_window cannot be negative")
+        if self.policy_error_threshold < 1:
+            raise ValueError("policy_error_threshold must be >= 1")

@@ -43,13 +43,24 @@ class BalanceDecision:
     exports: list[tuple[str, float, int]] = field(default_factory=list)
     error: Optional[str] = None
     skipped: Optional[str] = None
+    #: True when this tick ran on the fallback (circuit-breaker) policy.
+    fallback: bool = False
 
 
 class MantleBalancer:
-    """Attaches a :class:`MantlePolicy` to the MDS mechanisms."""
+    """Attaches a :class:`MantlePolicy` to the MDS mechanisms.
+
+    A *circuit breaker* guards against persistently-broken injected code:
+    after ``error_threshold`` consecutive Lua errors the balancer trips and
+    swaps in the built-in original CephFS policy (Table 1) instead of
+    silently idling forever -- the cluster keeps balancing even when the
+    injected policy is garbage.  A clean tick before the threshold resets
+    the counter.
+    """
 
     def __init__(self, policy: MantlePolicy,
-                 state: BalancerState | None = None) -> None:
+                 state: BalancerState | None = None,
+                 error_threshold: int = 3) -> None:
         policy.compile_all()
         self.policy = policy
         self.state = state or BalancerState()
@@ -57,11 +68,38 @@ class MantleBalancer:
         self.mdsload_fn = policy.mdsload_fn()
         self.decisions: list[BalanceDecision] = []
         self.errors = 0
+        self.error_threshold = error_threshold
+        self.consecutive_errors = 0
+        self.tripped = False
+        self._active = policy
+
+    # -- circuit breaker ------------------------------------------------
+    def active_policy(self) -> MantlePolicy:
+        """The policy actually in charge (the fallback once tripped)."""
+        return self._active
+
+    def _record_error(self) -> None:
+        self.errors += 1
+        self.consecutive_errors += 1
+        if (not self.tripped
+                and self.consecutive_errors >= self.error_threshold):
+            self._trip()
+
+    def _trip(self) -> None:
+        # Imported lazily: policies -> balancer would be a cycle.
+        from .policies.original import original_policy
+        fallback = original_policy()
+        fallback.compile_all()
+        self.tripped = True
+        self._active = fallback
+        self.metaload_fn = fallback.metaload_fn()
+        self.mdsload_fn = fallback.mdsload_fn()
 
     # ------------------------------------------------------------------
     def tick(self, mds: "MdsServer") -> BalanceDecision:
         now = mds.engine.now
-        decision = BalanceDecision(time=now, rank=mds.rank, went=False)
+        decision = BalanceDecision(time=now, rank=mds.rank, went=False,
+                                   fallback=self.tripped)
         self.decisions.append(decision)
         num_ranks = len(mds.peers)
         if num_ranks < 2:
@@ -70,15 +108,24 @@ class MantleBalancer:
         if mds.migrator.in_flight > 0:
             decision.skipped = "migration in flight"
             return decision
-        if not mds.hb_table.have_all(num_ranks):
+        alive = set(mds.hb_table.alive_ranks(now, mds.beacon_grace))
+        alive.add(mds.rank)
+        missing = [rank for rank in range(num_ranks)
+                   if rank not in alive and not mds.hb_table.is_down(rank)]
+        if missing:
             decision.skipped = "heartbeats incomplete"
             return decision
+        if len(alive) < 2:
+            decision.skipped = "no live peers"
+            return decision
 
-        mds_metrics = self._score_ranks(mds, num_ranks, decision)
+        mds_metrics = self._score_ranks(mds, num_ranks, alive, decision)
         if mds_metrics is None:
             return decision
 
-        targets = self._run_decision(mds, mds_metrics, decision)
+        targets = self._run_decision(mds, mds_metrics, alive, decision)
+        if decision.error is None:
+            self.consecutive_errors = 0
         if not targets:
             return decision
         decision.went = True
@@ -89,23 +136,34 @@ class MantleBalancer:
 
     # -- step 1: score all ranks ------------------------------------------
     def _score_ranks(self, mds: "MdsServer", num_ranks: int,
+                     alive: set[int],
                      decision: BalanceDecision) -> Optional[list[dict]]:
         metrics_list: list[dict] = []
         for rank in range(num_ranks):
             beat = mds.hb_table.get(rank)
-            assert beat is not None  # have_all() checked
-            metrics_list.append(beat.as_metrics())
+            if rank in alive and beat is not None:
+                metrics = beat.as_metrics()
+                metrics["alive"] = 1.0
+            else:
+                # Dead rank: zeroed metrics, flagged for the policy.
+                metrics = {"auth": 0.0, "all": 0.0, "cpu": 0.0, "mem": 0.0,
+                           "q": 0.0, "req": 0.0, "alive": 0.0}
+            metrics_list.append(metrics)
         try:
             for rank, metrics in enumerate(metrics_list):
-                metrics["load"] = self.mdsload_fn(metrics_list, rank)
+                if metrics["alive"]:
+                    metrics["load"] = self.mdsload_fn(metrics_list, rank)
+                else:
+                    metrics["load"] = 0.0
         except LuaError as exc:
-            self.errors += 1
+            self._record_error()
             decision.error = f"mdsload: {exc}"
             return None
         return metrics_list
 
     # -- step 2: when/where decision ---------------------------------------
     def _run_decision(self, mds: "MdsServer", mds_metrics: list[dict],
+                      alive: set[int],
                       decision: BalanceDecision) -> dict[int, float]:
         now = mds.engine.now
         wrstate, rdstate = self.state.bound_functions(mds.rank)
@@ -119,9 +177,9 @@ class MantleBalancer:
             rdstate=rdstate,
         )
         try:
-            result = self.policy.decision_chunk().run(bindings)
+            result = self._active.decision_chunk().run(bindings)
         except LuaError as exc:
-            self.errors += 1
+            self._record_error()
             decision.error = f"decision: {exc}"
             return {}
         go = result.global_value("go")
@@ -130,7 +188,9 @@ class MantleBalancer:
         raw_targets = result.python_value("targets")
         targets = extract_targets(raw_targets, len(mds_metrics))
         targets.pop(mds.rank, None)
-        return targets
+        # Never ship anything to a dead rank, whatever the policy says.
+        return {rank: load for rank, load in targets.items()
+                if rank in alive}
 
     # -- step 3+4: partition the namespace and export -----------------------
     def _ship(self, mds: "MdsServer", targets: dict[int, float],
@@ -140,8 +200,8 @@ class MantleBalancer:
         taken: set[int] = set()
         for rank, raw_target in sorted(targets.items(),
                                        key=lambda kv: kv[1], reverse=True):
-            target = raw_target * self.policy.need_min_factor
-            if target <= self.policy.min_unit_load:
+            target = raw_target * self._active.need_min_factor
+            if target <= self._active.min_unit_load:
                 continue
             units = self._partition_namespace(mds, target, now, taken)
             for unit, load in units:
@@ -163,7 +223,7 @@ class MantleBalancer:
         remaining = target
         frontier = self._roots(mds)
         visited: set[int] = {id(d) for d in frontier}
-        while frontier and remaining > self.policy.min_unit_load:
+        while frontier and remaining > self._active.min_unit_load:
             frontier.sort(
                 key=lambda d: self.metaload_fn(d.counters.snapshot(now)),
                 reverse=True,
@@ -172,14 +232,14 @@ class MantleBalancer:
             units = self._candidates(mds, directory, now, taken)
             # Subtrees too popular to move whole are drilled into instead;
             # dirfrags cannot be divided further, so they always qualify.
-            ceiling = remaining * self.policy.max_overshoot
+            ceiling = remaining * self._active.max_overshoot
             fitting = [
                 (unit, load) for unit, load in units
                 if not unit.is_subtree or load <= ceiling
             ]
             chosen_dirs: set[int] = set()
             if fitting:
-                outcome = choose_best(self.policy.howmuch, fitting, remaining)
+                outcome = choose_best(self._active.howmuch, fitting, remaining)
                 for unit, load in outcome.chosen:
                     exports.append((unit, load))
                     remaining -= load
@@ -229,7 +289,7 @@ class MantleBalancer:
             if self._fully_owned(child, mds.rank) and not self._frozen(child):
                 unit = ExportUnit(child)
                 load = unit.load(self.metaload_fn, now)
-                if load > self.policy.min_unit_load:
+                if load > self._active.min_unit_load:
                     units.append((unit, load))
         # Dirfrags are atomic export units: offered even when the directory
         # has a single frag (a hot leaf directory can only move whole, as
@@ -240,7 +300,7 @@ class MantleBalancer:
             if frag.authority() != mds.rank:
                 continue
             load = self.metaload_fn(frag.load_snapshot(now))
-            if load > self.policy.min_unit_load:
+            if load > self._active.min_unit_load:
                 units.append((ExportUnit(frag), load))
         return units
 

@@ -24,8 +24,9 @@ from ..luapolicy.parser import parse_expression
 from ..luapolicy.sandbox import compile_load_expression
 from ..namespace.counters import OP_KINDS
 
-#: Keys every per-MDS metrics table carries (Table 2).
-MDS_METRIC_KEYS = ("auth", "all", "cpu", "mem", "q", "req", "load")
+#: Keys every per-MDS metrics table carries (Table 2, plus the ``alive``
+#: liveness flag: 1.0 for live ranks, 0.0 for ranks declared dead).
+MDS_METRIC_KEYS = ("auth", "all", "cpu", "mem", "q", "req", "load", "alive")
 
 
 class _Unsupported(Exception):

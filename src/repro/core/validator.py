@@ -62,6 +62,7 @@ def _sample_cluster(num_ranks: int) -> list[dict]:
             "mem": 35.0 if hot else 10.0,
             "q": 22.0 if hot else 0.0,
             "req": 3400.0 if hot else 0.0,
+            "alive": 1.0,
         })
     return metrics
 

@@ -1,0 +1,36 @@
+"""Fault injection: deterministic, schedule-driven chaos for the cluster.
+
+The paper's safety argument (§3, §4.4) is that injected policies and the
+mechanisms they steer must never endanger the metadata service.  This
+package supplies the failure side of that argument: a declarative
+:class:`FaultSchedule` of crash / heartbeat-loss / partition /
+degraded-CPU / migration-abort events, executed by a seeded
+:class:`FaultInjector` so that the same seed and schedule always produce
+the same run.  :mod:`~repro.faults.invariants` checks that a run ended in
+a sane state (no frozen dirfrags, single authority everywhere).
+"""
+
+from .injector import FaultInjector, FaultState
+from .invariants import check_invariants
+from .schedule import (
+    AbortMigrations,
+    CrashMds,
+    DegradeCpu,
+    FaultEvent,
+    FaultSchedule,
+    HeartbeatLoss,
+    Partition,
+)
+
+__all__ = [
+    "AbortMigrations",
+    "CrashMds",
+    "DegradeCpu",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultState",
+    "HeartbeatLoss",
+    "Partition",
+    "check_invariants",
+]

@@ -1,0 +1,46 @@
+"""Post-run safety invariants.
+
+Whatever the fault schedule did, a finished run must leave the namespace
+serviceable: no dirfrag still frozen (a frozen frag stalls every request
+that touches it, forever), every dirfrag resolving to exactly one valid
+authoritative rank, and no export still marked in flight.  The chaos
+tests assert these after every scenario.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import SimulatedCluster  # noqa: F401 - docs only
+
+
+def check_invariants(cluster) -> list[str]:
+    """Return a list of invariant violations (empty = healthy)."""
+    problems: list[str] = []
+    num_ranks = len(cluster.mdss)
+    for directory in cluster.namespace.root.walk():
+        dir_auth = directory.authority()
+        if not 0 <= dir_auth < num_ranks:
+            problems.append(
+                f"directory {directory.path()!r} has invalid authority "
+                f"{dir_auth}"
+            )
+        for frag in directory.frags.values():
+            if frag.frozen:
+                problems.append(
+                    f"frozen dirfrag {directory.path()!r} {frag.frag_id}"
+                )
+            auth = frag.authority()
+            if not 0 <= auth < num_ranks:
+                problems.append(
+                    f"dirfrag {directory.path()!r} {frag.frag_id} has "
+                    f"invalid authority {auth}"
+                )
+    for mds in cluster.mdss:
+        if mds.migrator.in_flight:
+            problems.append(
+                f"mds{mds.rank} still has {mds.migrator.in_flight} "
+                "exports in flight"
+            )
+    return problems

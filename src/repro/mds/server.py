@@ -30,6 +30,7 @@ from .sessions import SessionTable
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.balancer import MantleBalancer
+    from ..faults.injector import FaultState
 
 #: A frozen dirfrag makes requests retry after this long.
 FREEZE_RETRY_DELAY = 0.002
@@ -77,6 +78,15 @@ class MdsServer:
                                             config.service.cv)
         self._hb_epoch = 0
         self._stores_pending: dict[int, int] = {}
+        # Fault state.
+        #: False while this rank is down (crashed, not yet restarted).
+        self.alive = True
+        #: Service-time multiplier; >1.0 models a degraded ("limping") CPU.
+        self.cpu_factor = 1.0
+        #: Shared per-cluster fault state (set when faults are armed).
+        self.fault_state: Optional["FaultState"] = None
+        self.crashed_at: Optional[float] = None
+        self.recovered_at: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Request path
@@ -84,11 +94,44 @@ class MdsServer:
     def receive_request(self, req: MetaRequest, done: Completion,
                         count_hop: bool = True) -> None:
         """Entry point for a request arriving over the network."""
+        if not self.alive:
+            # The client (or a forwarding peer) sent to a dead rank: bounce
+            # and retry once authority has been re-resolved.
+            self._retry_dead(req, done)
+            return
         if count_hop:
             req.hops.append(self.rank)
         self.metrics.reqs_in_window += 1
-        service = self._sample_service(req)
+        service = self._sample_service(req) * self.cpu_factor
         self.station.submit((req, done), service)
+
+    def _retry_dead(self, req: MetaRequest, done: Completion) -> None:
+        """Park a request that hit a dead rank; redeliver after a delay.
+
+        Redelivery re-resolves authority from the namespace, so once a
+        standby has taken over the subtree the request lands there; while
+        the rank stays dead the request keeps waiting (clients simply see
+        high latency during the outage, as they would against real CephFS).
+        """
+        self.metrics.dead_letters += 1
+
+        def redeliver() -> None:
+            if done.done:
+                return
+            try:
+                auth = self.namespace.authority_for_path(req.path)
+            except (FileNotFoundError, NotADirectoryError):
+                auth = self.rank
+            target = self.peers[auth] if self.peers else self
+            if not target.alive:
+                self.engine.schedule(self.config.dead_rank_retry_delay,
+                                     redeliver)
+                return
+            # Bounces do not count as forward hops (MAX_HOPS is for
+            # authority ping-pong, not for waiting out an outage).
+            target.receive_request(req, done, count_hop=False)
+
+        self.engine.schedule(self.config.dead_rank_retry_delay, redeliver)
 
     def _sample_service(self, req: MetaRequest) -> float:
         """CPU time this request will take at this rank.
@@ -413,6 +456,72 @@ class MdsServer:
             self.network.deliver(done.succeed, reply)
 
     # ------------------------------------------------------------------
+    # Crash & recovery
+    # ------------------------------------------------------------------
+    @property
+    def beacon_grace(self) -> float:
+        """Effective heartbeat-eviction timeout: never evict faster than
+        beats can arrive, whatever the config says."""
+        return max(self.config.mds_beacon_grace,
+                   1.5 * self.config.heartbeat_interval)
+
+    def crash(self) -> None:
+        """Fail this rank: lose volatile state, abandon all work in flight.
+
+        In-flight exports abort (their 2PC resolution decides rollback vs
+        roll-forward); peers abort exports targeting us; queued metadata
+        requests bounce back for retry; the unflushed journal tail,
+        sessions and cache are lost.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashed_at = self.engine.now
+        self.recovered_at = None
+        self.metrics.crashes += 1
+        self.migrator.abort_all("exporter crashed")
+        for peer in self.peers:
+            if peer.rank != self.rank:
+                peer.migrator.abort_targeting(self.rank)
+        for job in self.station.drain():
+            payload = job.payload
+            if (isinstance(payload, tuple) and len(payload) == 2
+                    and isinstance(payload[0], MetaRequest)):
+                req, done = payload
+                self._retry_dead(req, done)
+            elif not job.completion.done:
+                # Internal work (fragmentation, session flushes): anyone
+                # still waiting on it was interrupted above; cancelling is
+                # ignored by their stale wait tokens.
+                job.completion.cancel()
+        self.journal.drop_buffer()
+        self.cache.clear()
+        self.sessions.reset()
+        self.hb_table = HeartbeatTable()
+
+    def restart(self):
+        """Bring the rank back: respawn, replay the journal, serve again.
+
+        Returns the recovery :class:`~repro.sim.engine.Process`; its
+        completion fires once the rank is serving.
+        """
+        if self.alive:
+            raise RuntimeError(f"mds{self.rank} is not down")
+        return self.engine.process(self._restart(),
+                                   name=f"restart:mds{self.rank}")
+
+    def _restart(self):
+        yield self.config.restart_base_time
+        # Journal replay: sequential scan of the trailing segments.
+        yield from self.journal.replay_segments(
+            self.config.replay_segment_window)
+        self.alive = True
+        self.recovered_at = self.engine.now
+        self.metrics.restarts += 1
+        self.cache.clear()
+        self.station.resume()
+
+    # ------------------------------------------------------------------
     # Heartbeats & balancing
     # ------------------------------------------------------------------
     def start_heartbeats(self) -> None:
@@ -424,16 +533,24 @@ class MdsServer:
                           self.heartbeat_tick, start_after=offset)
 
     def heartbeat_tick(self) -> None:
+        if not self.alive:
+            return  # dead ranks do not beat (their silence IS the signal)
+        now = self.engine.now
+        self.hb_table.evict_stale(now, self.beacon_grace)
         beat = self._snapshot_metrics()
-        self.hb_table.store(beat, self.engine.now)
+        self.hb_table.store(beat, now)
         for peer in self.peers:
             if peer.rank == self.rank:
                 continue
             # Pack time + network + unpack time: the staleness of §2.2.2.
-            self.network.deliver_after(
-                2 * self.config.heartbeat_pack_time,
-                peer.receive_heartbeat, beat,
-            )
+            delay = 2 * self.config.heartbeat_pack_time
+            if self.fault_state is not None:
+                extra = self.fault_state.heartbeat_link(self.rank, peer.rank,
+                                                        now)
+                if extra is None:
+                    continue  # link down: the beat is dropped
+                delay += extra
+            self.network.deliver_after(delay, peer.receive_heartbeat, beat)
         if self.balancer is not None:
             # Rebalance after this round's heartbeats have (probably)
             # arrived: send HB -> recv HB -> rebalance (paper Fig 2).
@@ -441,10 +558,12 @@ class MdsServer:
                                  self._run_balancer)
 
     def _run_balancer(self) -> None:
-        if self.balancer is not None:
+        if self.balancer is not None and self.alive:
             self.balancer.tick(self)
 
     def receive_heartbeat(self, beat: HeartBeat) -> None:
+        if not self.alive:
+            return
         self.hb_table.store(beat, self.engine.now)
 
     def _snapshot_metrics(self) -> HeartBeat:

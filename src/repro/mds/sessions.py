@@ -71,6 +71,16 @@ class SessionTable:
         self.total_flushes += len(flushed)
         return len(flushed)
 
+    def reset(self) -> int:
+        """Drop every session (an MDS crash kills its session table).
+
+        Clients re-open sessions lazily on their next request.  Returns the
+        number of sessions dropped.
+        """
+        dropped = len(self._sessions)
+        self._sessions.clear()
+        return dropped
+
     def __len__(self) -> int:
         return len(self._sessions)
 

@@ -1,6 +1,12 @@
 """Measurement: counters, timelines, latencies, heat maps, statistics."""
 
-from .collectors import ClusterMetrics, LatencyRecorder, MdsMetrics, Timeline
+from .collectors import (
+    ClusterMetrics,
+    FaultRecord,
+    LatencyRecorder,
+    MdsMetrics,
+    Timeline,
+)
 from .heatmap import HeatSampler, default_heat
 from .render import (
     render_table,
@@ -15,6 +21,7 @@ from .tracing import TraceEvent, TraceRecorder, record_run
 
 __all__ = [
     "ClusterMetrics",
+    "FaultRecord",
     "HeatSampler",
     "LatencyRecorder",
     "MdsMetrics",

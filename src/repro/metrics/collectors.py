@@ -33,6 +33,12 @@ class MdsMetrics:
     scatter_gathers: int = 0
     #: Request count since the last heartbeat (for the ``req`` metric).
     reqs_in_window: int = 0
+    # Fault accounting.
+    crashes: int = 0
+    restarts: int = 0
+    migrations_aborted: int = 0
+    #: Requests bounced off this (dead) rank and retried elsewhere.
+    dead_letters: int = 0
 
     def take_request_rate(self, window: float) -> float:
         count = self.reqs_in_window
@@ -117,6 +123,16 @@ class LatencyRecorder:
         return float(lat.std()) if lat.size else 0.0
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault (or recovery) event, for the trace in the report."""
+
+    time: float
+    kind: str      # e.g. "crash", "restart", "takeover", "partition-heal"
+    rank: int      # primary rank affected; -1 for cluster-wide events
+    detail: str = ""
+
+
 @dataclass
 class ClusterMetrics:
     """Everything measured during one simulation run."""
@@ -126,6 +142,13 @@ class ClusterMetrics:
     latencies: LatencyRecorder = field(default_factory=LatencyRecorder)
     client_finish_times: dict[int, float] = field(default_factory=dict)
     client_op_counts: dict[int, int] = field(default_factory=dict)
+    fault_events: list[FaultRecord] = field(default_factory=list)
+
+    def record_fault(self, time: float, kind: str, rank: int,
+                     detail: str = "") -> FaultRecord:
+        record = FaultRecord(time=time, kind=kind, rank=rank, detail=detail)
+        self.fault_events.append(record)
+        return record
 
     def mds(self, rank: int) -> MdsMetrics:
         metrics = self.per_mds.get(rank)

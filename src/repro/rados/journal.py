@@ -31,6 +31,7 @@ class MdsJournal:
         self._buffered = 0
         self.entries_logged = 0
         self.segments_flushed = 0
+        self.segments_replayed = 0
 
     def log(self, kind: str, size: int | None = None) -> Completion | None:
         """Append an entry.  Returns a completion only when the append
@@ -59,3 +60,26 @@ class MdsJournal:
         self.segments_flushed += 1
         obj = f"mds{self.rank}.journal.{self._segment_seq}"
         return self.rados.write(obj, size)
+
+    # -- recovery -------------------------------------------------------
+    def drop_buffer(self) -> int:
+        """Discard unflushed entries (they die with a crash).
+
+        Returns the number of bytes lost.
+        """
+        lost = self._buffered
+        self._buffered = 0
+        return lost
+
+    def replay_segments(self, window: int):
+        """Re-read the newest *window* flushed segments from RADOS.
+
+        A generator suitable for ``yield from`` inside a recovery process:
+        journal replay is a sequential scan, so each segment read completes
+        before the next one is issued.
+        """
+        first = max(1, self._segment_seq - window + 1)
+        for seq in range(first, self._segment_seq + 1):
+            obj = f"mds{self.rank}.journal.{seq}"
+            yield self.rados.read(obj, self.segment_bytes)
+            self.segments_replayed += 1

@@ -100,6 +100,14 @@ class Process:
     The generator resumes with the completion's value (or the exception is
     thrown into it).  The process itself is a completion that fires with the
     generator's return value.
+
+    A running process can be *interrupted*: :meth:`interrupt` throws an
+    exception into the generator at its current wait point (abandoning the
+    wait), which is how multi-step operations like migrations are aborted
+    when a fault strikes mid-flight.  Each wait holds a token; a resume
+    whose token is stale (because an interrupt superseded it) is ignored,
+    so interrupting never touches the completion being waited on -- other
+    waiters see it fire normally.
     """
 
     def __init__(self, engine: "SimEngine",
@@ -108,7 +116,29 @@ class Process:
         self.generator = generator
         self.name = name
         self.completion = Completion(engine)
-        engine.schedule(0.0, self._resume, None, None)
+        self._wait_token = 0
+        engine.schedule(0.0, self._resume_guard, 0, None, None)
+
+    def interrupt(self, error: Optional[BaseException] = None) -> bool:
+        """Throw *error* (default :class:`CancelledError`) into the process.
+
+        Returns False if the process already finished.  The exception is
+        delivered at the current wait point; whatever the process was
+        waiting on is left untouched and its eventual firing is ignored.
+        """
+        if self.completion.done:
+            return False
+        self._wait_token += 1
+        self.engine.schedule(0.0, self._resume_guard, self._wait_token,
+                             None, error if error is not None
+                             else CancelledError())
+        return True
+
+    def _resume_guard(self, token: int, value: Any,
+                      error: Optional[BaseException]) -> None:
+        if token != self._wait_token or self.completion.done:
+            return  # superseded by an interrupt (or already finished)
+        self._resume(value, error)
 
     def _resume(self, value: Any, error: Optional[BaseException]) -> None:
         try:
@@ -124,23 +154,36 @@ class Process:
             if not self.completion.done:
                 self.completion.cancel()
             return
+        except BaseException as exc:
+            if exc is error:
+                # The generator did not catch the injected error; fail the
+                # process instead of crashing the whole event loop.
+                if not self.completion.done:
+                    self.completion.fail(exc)
+                return
+            raise
         self._wait_on(yielded)
 
     def _wait_on(self, yielded: Any) -> None:
+        self._wait_token += 1
+        token = self._wait_token
         if isinstance(yielded, Completion):
             def on_done(completion: Completion) -> None:
                 try:
                     value = completion.value
                 except BaseException as exc:  # noqa: BLE001 - forwarded
-                    self.engine.schedule(0.0, self._resume, None, exc)
+                    self.engine.schedule(0.0, self._resume_guard, token,
+                                         None, exc)
                     return
-                self.engine.schedule(0.0, self._resume, value, None)
+                self.engine.schedule(0.0, self._resume_guard, token,
+                                     value, None)
 
             yielded.add_callback(on_done)
         elif isinstance(yielded, (int, float)):
             if yielded < 0:
                 raise ValueError(f"negative delay {yielded}")
-            self.engine.schedule(float(yielded), self._resume, None, None)
+            self.engine.schedule(float(yielded), self._resume_guard, token,
+                                 None, None)
         else:
             raise TypeError(
                 f"process {self.name!r} yielded {type(yielded).__name__}; "

@@ -13,7 +13,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from .engine import Completion, SimEngine
+from .engine import Completion, EventHandle, SimEngine
 from .rng import ServiceTime
 
 
@@ -53,6 +53,7 @@ class FifoStation:
         self._queue: deque[Job] = deque()
         self._busy_servers = 0
         self._paused = False
+        self._in_service: dict[int, tuple[Job, "EventHandle"]] = {}
         # Accounting.
         self.busy_time = 0.0
         self.jobs_done = 0
@@ -101,6 +102,28 @@ class FifoStation:
         self._paused = False
         self._dispatch()
 
+    def drain(self) -> list[Job]:
+        """Abandon all queued and in-service jobs (a server crash).
+
+        Busy time already accrued is accounted; the jobs' completions are
+        left unfired -- the caller decides whether to requeue, redirect or
+        cancel each one.  Returns the abandoned jobs, in-service first.
+        """
+        now = self.engine.now
+        abandoned: list[Job] = []
+        for slot, (job, handle) in list(self._in_service.items()):
+            handle.cancel()
+            started = self._busy_since.pop(slot)
+            span = now - started
+            self.busy_time += span
+            self._window_busy += now - max(started, self._last_window_mark)
+            abandoned.append(job)
+        self._in_service.clear()
+        self._busy_servers = 0
+        abandoned.extend(self._queue)
+        self._queue.clear()
+        return abandoned
+
     # -- submission ------------------------------------------------------
     def submit(self, payload: Any,
                service: float | ServiceTime | None = None) -> Completion:
@@ -130,9 +153,11 @@ class FifoStation:
         slot = id(job)
         self._busy_since[slot] = self.engine.now
         self.total_wait += self.engine.now - job.enqueued_at
-        self.engine.schedule(job.service, self._finish, job, slot)
+        handle = self.engine.schedule(job.service, self._finish, job, slot)
+        self._in_service[slot] = (job, handle)
 
     def _finish(self, job: Job, slot: int) -> None:
+        self._in_service.pop(slot, None)
         started = self._busy_since.pop(slot)
         span = self.engine.now - started
         self.busy_time += span

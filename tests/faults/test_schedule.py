@@ -1,0 +1,122 @@
+"""FaultSchedule: construction, (de)serialisation, validation."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    AbortMigrations,
+    CrashMds,
+    DegradeCpu,
+    FaultSchedule,
+    HeartbeatLoss,
+    Partition,
+)
+
+
+class TestConstruction:
+    def test_events_sorted_by_time(self):
+        schedule = FaultSchedule([CrashMds(at=5.0, rank=0),
+                                  DegradeCpu(at=1.0, rank=1, factor=2.0)])
+        assert [e.at for e in schedule] == [1.0, 5.0]
+
+    def test_add_keeps_order(self):
+        schedule = FaultSchedule([CrashMds(at=5.0, rank=0)])
+        schedule.add(AbortMigrations(at=2.0))
+        assert [e.at for e in schedule] == [2.0, 5.0]
+        assert len(schedule) == 2
+
+
+class TestSerialisation:
+    def roundtrip(self):
+        return FaultSchedule([
+            CrashMds(at=3.0, rank=1, restart_after=10.0),
+            HeartbeatLoss(at=1.0, duration=5.0, src=0, drop_prob=0.5),
+            Partition(at=2.0, duration=4.0, group_a=(0,), group_b=(1, 2)),
+            DegradeCpu(at=4.0, rank=2, factor=3.0, duration=2.0),
+            AbortMigrations(at=5.0),
+        ])
+
+    def test_dict_round_trip(self):
+        schedule = self.roundtrip()
+        again = FaultSchedule.from_dicts(schedule.to_dicts())
+        assert again.events == schedule.events
+
+    def test_to_dicts_omits_none_fields(self):
+        entry = FaultSchedule([CrashMds(at=3.0, rank=1)]).to_dicts()[0]
+        assert entry == {"kind": "crash", "at": 3.0, "rank": 1}
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps(self.roundtrip().to_dicts()))
+        assert FaultSchedule.from_file(str(path)).events == \
+            self.roundtrip().events
+
+    def test_from_file_accepts_wrapper_object(self, tmp_path):
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps({"faults": [
+            {"kind": "crash", "at": 1.0, "rank": 0}]}))
+        schedule = FaultSchedule.from_file(str(path))
+        assert schedule.events == [CrashMds(at=1.0, rank=0)]
+
+    def test_from_file_rejects_scalar(self, tmp_path):
+        path = tmp_path / "faults.json"
+        path.write_text("42")
+        with pytest.raises(ValueError, match="expected a JSON list"):
+            FaultSchedule.from_file(str(path))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown kind 'meteor'"):
+            FaultSchedule.from_dicts([{"kind": "meteor", "at": 1.0}])
+
+    def test_bad_field_names_error_carries_index(self):
+        with pytest.raises(ValueError, match="fault #1"):
+            FaultSchedule.from_dicts([
+                {"kind": "crash", "at": 1.0, "rank": 0},
+                {"kind": "crash", "at": 2.0, "level": 9},
+            ])
+
+
+class TestValidation:
+    def check(self, event, message, num_mds=3):
+        with pytest.raises(ValueError, match=message):
+            FaultSchedule([event]).validate(num_mds)
+
+    def test_rank_out_of_range(self):
+        self.check(CrashMds(at=1.0, rank=3), "out of range")
+
+    def test_negative_time(self):
+        self.check(CrashMds(at=-1.0, rank=0), "negative time")
+
+    def test_self_takeover(self):
+        self.check(CrashMds(at=1.0, rank=0, takeover_by=0),
+                   "take over from itself")
+
+    def test_drop_prob_bounds(self):
+        self.check(HeartbeatLoss(at=1.0, duration=1.0, drop_prob=1.5),
+                   "not a probability")
+
+    def test_nonpositive_duration(self):
+        self.check(HeartbeatLoss(at=1.0, duration=0.0),
+                   "duration must be positive")
+
+    def test_empty_partition_group(self):
+        self.check(Partition(at=1.0, duration=1.0, group_a=(),
+                             group_b=(1,)), "empty partition group")
+
+    def test_overlapping_partition_groups(self):
+        self.check(Partition(at=1.0, duration=1.0, group_a=(0, 1),
+                             group_b=(1, 2)), "groups overlap")
+
+    def test_degrade_factor_positive(self):
+        self.check(DegradeCpu(at=1.0, rank=0, factor=0.0),
+                   "factor must be positive")
+
+    def test_abort_migrations_wildcard_rank_ok(self):
+        FaultSchedule([AbortMigrations(at=1.0)]).validate(2)
+
+    def test_valid_schedule_passes(self):
+        FaultSchedule([
+            CrashMds(at=1.0, rank=0, takeover_by=1),
+            Partition(at=2.0, duration=3.0, group_a=(0,), group_b=(1, 2)),
+        ]).validate(3)

@@ -1,0 +1,117 @@
+"""Migration aborts: 2PC rollback/roll-forward resolution and hygiene."""
+
+from repro.cluster import SimulatedCluster
+from repro.mds.migration import ExportUnit
+from tests.conftest import make_config
+
+
+def build_cluster(num_mds=2, files=20):
+    cluster = SimulatedCluster(make_config(num_mds=num_mds))
+    cluster.namespace.mkdirs("/d/sub")
+    for i in range(files):
+        cluster.namespace.create(f"/d/f{i}")
+        cluster.namespace.create(f"/d/sub/g{i}")
+    return cluster
+
+
+def frozen_frags(unit: ExportUnit) -> int:
+    return sum(1 for frag in unit.frags() if frag.frozen)
+
+
+class TestAbortRollback:
+    def test_abort_mid_transfer_rolls_back(self):
+        cluster = build_cluster()
+        d = cluster.namespace.resolve_dir("/d")
+        unit = ExportUnit(d)
+        exporter = cluster.mdss[0]
+        process = exporter.migrator.export(unit, 1)
+        cluster.engine.run_until(0.05)  # mid-flight, before the commit point
+        assert frozen_frags(unit) > 0
+        aborted = exporter.migrator.abort_all("test")
+        assert len(aborted) == 1
+        cluster.engine.run_until_complete(process.completion)
+        # Rollback: authority stays home, nothing stays frozen.
+        assert d.authority() == 0
+        assert frozen_frags(unit) == 0
+        assert exporter.migrator.exports_aborted == 1
+        assert exporter.migrator.exports_completed == 0
+        assert exporter.migrator.in_flight == 0
+        assert cluster.metrics.mds(0).migrations_aborted == 1
+
+    def test_abort_after_commit_point_rolls_forward(self):
+        cluster = build_cluster()
+        d = cluster.namespace.resolve_dir("/d")
+        unit = ExportUnit(d)
+        exporter = cluster.mdss[0]
+        process = exporter.migrator.export(unit, 1)
+        # Step until the EImport is durable (the commit point).
+        while (exporter.migrator.active
+               and exporter.migrator.active[0].phase != "committed"):
+            assert cluster.engine.step()
+        exporter.migrator.abort_all("test")
+        cluster.engine.run_until_complete(process.completion)
+        # Roll-forward: the importer owns the metadata.
+        assert d.authority() == 1
+        assert frozen_frags(unit) == 0
+        assert exporter.migrator.exports_aborted == 0
+        assert exporter.migrator.exports_completed == 1
+        assert cluster.metrics.mds(1).imports == 1
+
+    def test_abort_targeting_only_hits_matching_importer(self):
+        cluster = build_cluster(num_mds=3)
+        d = cluster.namespace.resolve_dir("/d")
+        sub = cluster.namespace.resolve_dir("/d/sub")
+        exporter = cluster.mdss[0]
+        p1 = exporter.migrator.export(ExportUnit(sub), 1)
+        p2 = exporter.migrator.export(ExportUnit(d.frag_for_name("f0")), 2)
+        cluster.engine.run_until(0.05)
+        aborted = exporter.migrator.abort_targeting(1)
+        assert [record.target_rank for record in aborted] == [1]
+        cluster.engine.run_until_complete(p1.completion)
+        cluster.engine.run_until_complete(p2.completion)
+        assert sub.authority() == 0          # rolled back
+        assert d.frag_for_name("f0").authority() == 2  # committed
+        assert exporter.migrator.in_flight == 0
+
+
+class TestCrashDuringMigration:
+    def test_exporter_crash_unfreezes_everything(self):
+        cluster = build_cluster(num_mds=3)
+        d = cluster.namespace.resolve_dir("/d")
+        unit = ExportUnit(d)
+        exporter = cluster.mdss[0]
+        process = exporter.migrator.export(unit, 1)
+        cluster.engine.run_until(0.05)
+        exporter.crash()
+        cluster.engine.run_until_complete(process.completion)
+        assert frozen_frags(unit) == 0
+        assert d.authority() == 0
+        assert exporter.migrator.in_flight == 0
+
+    def test_importer_crash_aborts_export_at_exporter(self):
+        cluster = build_cluster()
+        d = cluster.namespace.resolve_dir("/d")
+        unit = ExportUnit(d)
+        exporter = cluster.mdss[0]
+        process = exporter.migrator.export(unit, 1)
+        cluster.engine.run_until(0.05)
+        cluster.mdss[1].crash()
+        cluster.engine.run_until_complete(process.completion)
+        assert frozen_frags(unit) == 0
+        assert d.authority() == 0
+        assert exporter.migrator.exports_aborted == 1
+        assert exporter.migrator.in_flight == 0
+
+    def test_fresh_export_possible_after_rollback(self):
+        cluster = build_cluster()
+        d = cluster.namespace.resolve_dir("/d")
+        unit = ExportUnit(d)
+        exporter = cluster.mdss[0]
+        first = exporter.migrator.export(unit, 1)
+        cluster.engine.run_until(0.05)
+        exporter.migrator.abort_all("test")
+        cluster.engine.run_until_complete(first.completion)
+        second = exporter.migrator.export(ExportUnit(d), 1)
+        cluster.engine.run_until_complete(second.completion)
+        assert d.authority() == 1
+        assert exporter.migrator.exports_completed == 1

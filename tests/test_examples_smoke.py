@@ -25,6 +25,7 @@ pytestmark = pytest.mark.skipif(
     "compile_locality.py",
     "flash_crowd.py",
     "record_replay.py",
+    "mds_failover.py",
 ])
 def test_example_runs(script):
     result = subprocess.run(
