@@ -17,6 +17,11 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the simulator
+    np = None
+
 from repro.config import ClusterConfig
 
 #: Workload scale factor (1.0 = the paper's sizes).
@@ -64,8 +69,8 @@ def speedup_pct(baseline: float, measured: float) -> float:
 
 def sparkline(series, width: int = 60) -> str:
     """Compress a series into a textual sparkline for timeline figures."""
-    import numpy as np
-
+    if np is None:  # pragma: no cover - numpy ships with the simulator
+        raise RuntimeError("sparkline requires numpy")
     data = np.asarray(series, dtype=float)
     if data.size == 0:
         return ""

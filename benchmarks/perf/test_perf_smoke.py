@@ -1,0 +1,57 @@
+"""Perf smoke benchmark: regenerate the tracked BENCH_sim.json numbers.
+
+Runs the microbenchmark suite (engine events/s, policy ticks/s, a small
+Fig 8 slice) at ``REPRO_BENCH_SCALE`` and writes the results next to the
+other benchmark reports.  With ``REPRO_PERF_CHECK=1`` it additionally
+compares against the committed baseline ``benchmarks/perf/BENCH_sim.json``
+and fails on a >30% throughput regression -- that is the CI perf gate.
+
+Absolute numbers move with the host; only the relative comparison is
+asserted, and only when explicitly requested.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.perf.microbench import (THROUGHPUT_KEYS, collect_benchmarks,
+                                   compare_benchmarks, load_benchmarks)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+#: Allowed throughput drop vs the baseline (hosts differ; CI widens this).
+TOLERANCE = float(os.environ.get("REPRO_PERF_TOLERANCE", "0.30"))
+BASELINE = Path(__file__).parent / "BENCH_sim.json"
+RESULTS_DIR = Path(__file__).parent.parent / "results"
+
+
+def test_perf_smoke():
+    results = collect_benchmarks(scale=SCALE)
+
+    for key in THROUGHPUT_KEYS:
+        assert results[key] > 0, f"{key} did not run"
+    assert results["fig8_small_wall_s"] > 0
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_current.json"
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    for key in sorted(results):
+        if key != "meta":
+            print(f"{key:<22} {results[key]:.1f}")
+
+    if os.environ.get("REPRO_PERF_CHECK") == "1":
+        assert BASELINE.exists(), f"missing perf baseline {BASELINE}"
+        problems = compare_benchmarks(results, load_benchmarks(BASELINE),
+                                      tolerance=TOLERANCE)
+        assert not problems, "; ".join(problems)
+
+
+def test_baseline_is_tracked_and_well_formed():
+    assert BASELINE.exists(), (
+        "benchmarks/perf/BENCH_sim.json must be committed; regenerate with "
+        "`mantle-sim bench --json benchmarks/perf/BENCH_sim.json`"
+    )
+    baseline = load_benchmarks(BASELINE)
+    for key in THROUGHPUT_KEYS:
+        assert isinstance(baseline.get(key), (int, float)), key
+        assert baseline[key] > 0, key
+    assert "meta" in baseline

@@ -87,6 +87,14 @@ def _build_workload(args: argparse.Namespace):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.profile or args.profile_out:
+        from .perf.profiling import profiled
+        with profiled(top=25, out_path=args.profile_out):
+            return _cmd_run_inner(args)
+    return _cmd_run_inner(args)
+
+
+def _cmd_run_inner(args: argparse.Namespace) -> int:
     policy = _resolve_policy(args.policy)
     if policy is not None:
         report = validate_policy(policy)
@@ -139,6 +147,57 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_seeds(text: str) -> list[int]:
+    """'4' -> [0, 1, 2, 3]; '7,11,13' -> [7, 11, 13]."""
+    parts = [part.strip() for part in text.split(",") if part.strip()]
+    if len(parts) == 1 and "," not in text:
+        return list(range(int(parts[0])))
+    return [int(part) for part in parts]
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .perf.sweep import build_specs, format_report, run_sweep
+    seeds = _parse_seeds(args.seeds)
+    policies = [part.strip() for part in args.policies.split(",")
+                if part.strip()]
+    try:
+        specs = build_specs(
+            seeds, policies,
+            workload=args.workload,
+            num_mds=args.mds,
+            num_clients=args.clients,
+            files_per_client=args.files,
+            ops_per_client=args.ops,
+            dir_split_size=args.split_size,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    records = run_sweep(specs, jobs=args.jobs)
+    sys.stdout.write(format_report(records))
+    if args.out:
+        import json
+        Path(args.out).write_text(
+            json.dumps(records, indent=2, sort_keys=True) + "\n")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .perf.microbench import (collect_benchmarks, compare_benchmarks,
+                                  load_benchmarks, write_benchmarks)
+    results = collect_benchmarks(scale=args.scale)
+    for key in sorted(results):
+        if key != "meta":
+            print(f"{key:<22} {results[key]:.1f}")
+    if args.json:
+        write_benchmarks(args.json, results)
+    if args.baseline:
+        problems = compare_benchmarks(results, load_benchmarks(args.baseline))
+        for problem in problems:
+            print(f"regression: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mantle-sim",
@@ -184,7 +243,47 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print every balancing decision")
     run.add_argument("--faults", default=None, metavar="FILE",
                      help="JSON fault schedule to inject (see docs/FAULTS.md)")
+    run.add_argument("--profile", action="store_true",
+                     help="cProfile the run; print top-25 cumulative "
+                          "functions to stderr")
+    run.add_argument("--profile-out", default=None, metavar="FILE",
+                     help="also dump raw pstats data to FILE")
     run.set_defaults(func=cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="fan seeds x policies over worker processes")
+    sweep.add_argument("--seeds", default="4",
+                       help="count ('4' -> seeds 0..3) or explicit "
+                            "comma list ('7,11,13')")
+    sweep.add_argument("--policies", default="greedy-spill",
+                       help="comma-separated stock names (underscore "
+                            "spellings accepted, e.g. fill_spill)")
+    sweep.add_argument("--workload", default="create",
+                       choices=("create", "zipf"))
+    sweep.add_argument("--mds", type=int, default=2)
+    sweep.add_argument("--clients", type=int, default=4)
+    sweep.add_argument("--files", type=int, default=2000,
+                       help="files per client (create) / population (zipf)")
+    sweep.add_argument("--ops", type=int, default=2000,
+                       help="ops per client (zipf)")
+    sweep.add_argument("--split-size", type=int, default=1000)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial; output is "
+                            "byte-identical either way)")
+    sweep.add_argument("--out", default=None, metavar="FILE",
+                       help="also write per-cell records as JSON")
+    sweep.set_defaults(func=cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench", help="run the perf microbenchmarks (BENCH_sim.json)")
+    bench.add_argument("--scale", type=float, default=1.0,
+                       help="shrink/grow the benchmark sizes")
+    bench.add_argument("--json", default=None, metavar="FILE",
+                       help="write results JSON here")
+    bench.add_argument("--baseline", default=None, metavar="FILE",
+                       help="compare against a baseline BENCH_sim.json; "
+                            "exit 1 on >30%% throughput regression")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from ..metrics.collectors import ClusterMetrics
 from ..namespace.dirfrag import name_hash
-from ..namespace.tree import split_path
+from ..namespace.tree import dirname_of, split_path
 from ..sim.engine import SimEngine
 from ..sim.network import Network
 from .ops import MetaReply, MetaRequest, OpKind
@@ -85,9 +85,15 @@ class Client:
                 break
             kind, path = op[0], op[1]
             dst = op[2] if len(op) > 2 else None
-            reply = yield self._issue(kind, path, dst=dst)
+            issued_at, completion = self._issue(kind, path, dst=dst)
+            reply = yield completion
+            # Same simulated instant as the reply delivery (the worker
+            # resumes via a zero-delay event), so the measured latency is
+            # unchanged by recording it here instead of in a callback.
+            self.metrics.latencies.record(self.client_id,
+                                          self.engine.now - issued_at)
             self.ops_completed += 1
-            if not reply.ok:
+            if reply.error is not None:
                 self.errors += 1
             self._learn(path, reply)
             if self.think_time > 0:
@@ -105,13 +111,29 @@ class Client:
 
     # -- request issue ------------------------------------------------------
     def _issue(self, kind: OpKind, path: str, dst: str | None = None):
+        """Send one request; returns ``(issued_at, completion)``.
+
+        The completion fires with the :class:`MetaReply`; the worker that
+        yields on it records the latency itself, so no wrapper completion
+        or callback is allocated per op.
+        """
+        issued_at = self.engine.now
         req = MetaRequest(kind=kind, path=path, client_id=self.client_id,
-                          issued_at=self.engine.now)
+                          issued_at=issued_at)
         if dst is not None:
             req.payload["dst"] = dst
         completion = self.engine.completion()
         rank = self._guess(path, kind)
-        delay = self._cap_switch_delay(path, kind, rank)
+        # _cap_switch_delay's common case (feature off / same rank) inlined;
+        # the method re-does the _last_rank swap, so undo it before calling.
+        previous = self._last_rank
+        self._last_rank = rank
+        if (self.cap_switch_time <= 0 or previous is None
+                or previous == rank):
+            delay = 0.0
+        else:
+            self._last_rank = previous
+            delay = self._cap_switch_delay(path, kind, rank)
         if delay > 0:
             self.engine.schedule(
                 delay, self.network.deliver,
@@ -120,17 +142,7 @@ class Client:
         else:
             self.network.deliver(self.mdss[rank].receive_request, req,
                                  completion)
-        wrapper = self.engine.completion()
-
-        def on_reply(c) -> None:
-            reply: MetaReply = c.value
-            self.metrics.latencies.record(
-                self.client_id, self.engine.now - req.issued_at
-            )
-            wrapper.succeed(reply)
-
-        completion.add_callback(on_reply)
-        return wrapper
+        return issued_at, completion
 
     def _cap_switch_delay(self, path: str, kind: OpKind, rank: int) -> float:
         """Cap revalidation when consecutive requests alternate ranks.
@@ -154,17 +166,20 @@ class Client:
     def _dir_of(self, path: str, kind: OpKind) -> str:
         if kind is OpKind.READDIR:
             return path.rstrip("/") or "/"
-        parts = split_path(path)
-        return "/" + "/".join(parts[:-1]) if len(parts) > 1 else "/"
+        return dirname_of(path)
 
     def _guess(self, path: str, kind: OpKind) -> int:
         """Route via the cached fragtree if known, else the most specific
         subtree mapping along the path, else rank 0."""
-        directory = self._dir_of(path, kind)
+        if kind is OpKind.READDIR:
+            directory = path.rstrip("/") or "/"
+        else:
+            directory = dirname_of(path)
         if kind is not OpKind.READDIR:
             frag_map = self.frag_maps.get(directory)
             if frag_map:
-                leaf = split_path(path)[-1] if split_path(path) else ""
+                parts = split_path(path)
+                leaf = parts[-1] if parts else ""
                 hashed = name_hash(leaf)
                 for bits, value, rank in frag_map:
                     if (hashed & ((1 << bits) - 1)) == value:
@@ -178,7 +193,10 @@ class Client:
         return 0
 
     def _learn(self, path: str, reply: MetaReply) -> None:
-        directory = self._dir_of(path, reply.kind)
+        if reply.kind is OpKind.READDIR:
+            directory = path.rstrip("/") or "/"
+        else:
+            directory = dirname_of(path)
         self.mds_map[directory] = reply.served_by
         if reply.dir_path is not None and reply.frag_map is not None:
             self.frag_maps[reply.dir_path] = reply.frag_map

@@ -22,18 +22,25 @@ class OpKind(str, Enum):
 
     @property
     def is_write(self) -> bool:
-        return self in (OpKind.CREATE, OpKind.MKDIR, OpKind.UNLINK,
-                        OpKind.RENAME)
+        return IS_WRITE[self]
 
     @property
     def counter_kind(self) -> str:
         """Which decayed counter this op bumps (paper Table 2 metrics)."""
-        if self in (OpKind.CREATE, OpKind.MKDIR, OpKind.UNLINK,
-                    OpKind.RENAME):
-            return "IWR"
-        if self is OpKind.READDIR:
-            return "READDIR"
-        return "IRD"
+        return COUNTER_KIND[self]
+
+
+#: Precomputed per-kind lookups; hot paths index these directly instead of
+#: going through the property descriptors.
+IS_WRITE = {
+    kind: kind in (OpKind.CREATE, OpKind.MKDIR, OpKind.UNLINK, OpKind.RENAME)
+    for kind in OpKind
+}
+COUNTER_KIND = {
+    kind: ("IWR" if IS_WRITE[kind]
+           else "READDIR" if kind is OpKind.READDIR else "IRD")
+    for kind in OpKind
+}
 
 
 _REQ_IDS = itertools.count(1)
@@ -61,7 +68,7 @@ class MetaRequest:
                 f"client={self.client_id}, hops={self.hops})")
 
 
-@dataclass
+@dataclass(slots=True)
 class MetaReply:
     """Reply delivered back to the client.
 

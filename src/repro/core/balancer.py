@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from .. import fastpath
 from ..luapolicy.errors import LuaError
 from ..mds.migration import ExportUnit
 from ..namespace.directory import Directory
@@ -32,7 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..mds.server import MdsServer
 
 
-@dataclass
+@dataclass(slots=True)
 class BalanceDecision:
     """Record of one balancing tick (for tests, reports and debugging)."""
 
@@ -72,6 +73,12 @@ class MantleBalancer:
         self.consecutive_errors = 0
         self.tripped = False
         self._active = policy
+        # Per-tick metaload memos.  Within one tick `now` is fixed and the
+        # first counter snapshot decays the counters in place, so repeated
+        # evaluations return bit-identical values -- caching them skips
+        # re-walking subtrees once per target rank.
+        self._dir_load_memo: dict[int, float] = {}
+        self._unit_load_memo: dict[int, float] = {}
 
     # -- circuit breaker ------------------------------------------------
     def active_policy(self) -> MantlePolicy:
@@ -98,6 +105,8 @@ class MantleBalancer:
     # ------------------------------------------------------------------
     def tick(self, mds: "MdsServer") -> BalanceDecision:
         now = mds.engine.now
+        self._dir_load_memo.clear()
+        self._unit_load_memo.clear()
         decision = BalanceDecision(time=now, rank=mds.rank, went=False,
                                    fallback=self.tripped)
         self.decisions.append(decision)
@@ -225,7 +234,7 @@ class MantleBalancer:
         visited: set[int] = {id(d) for d in frontier}
         while frontier and remaining > self._active.min_unit_load:
             frontier.sort(
-                key=lambda d: self.metaload_fn(d.counters.snapshot(now)),
+                key=lambda d: self._dir_metaload(d, now),
                 reverse=True,
             )
             directory = frontier.pop(0)
@@ -256,6 +265,17 @@ class MantleBalancer:
                     visited.add(id(child))
                     frontier.append(child)
         return exports
+
+    def _dir_metaload(self, directory: Directory, now: float) -> float:
+        if not fastpath.ENABLED:
+            return self.metaload_fn(directory.counters.snapshot(now))
+        memo = self._dir_load_memo
+        key = id(directory)
+        value = memo.get(key)
+        if value is None:
+            value = self.metaload_fn(directory.counters.snapshot(now))
+            memo[key] = value
+        return value
 
     def _roots(self, mds: "MdsServer") -> list[Directory]:
         roots = mds.namespace.subtree_roots(mds.rank)
@@ -288,7 +308,7 @@ class MantleBalancer:
                 continue
             if self._fully_owned(child, mds.rank) and not self._frozen(child):
                 unit = ExportUnit(child)
-                load = unit.load(self.metaload_fn, now)
+                load = self._unit_load(unit, now)
                 if load > self._active.min_unit_load:
                     units.append((unit, load))
         # Dirfrags are atomic export units: offered even when the directory
@@ -299,10 +319,32 @@ class MantleBalancer:
                 continue
             if frag.authority() != mds.rank:
                 continue
-            load = self.metaload_fn(frag.load_snapshot(now))
+            load = self._frag_metaload(frag, now)
             if load > self._active.min_unit_load:
                 units.append((ExportUnit(frag), load))
         return units
+
+    def _unit_load(self, unit: ExportUnit, now: float) -> float:
+        if not fastpath.ENABLED:
+            return unit.load(self.metaload_fn, now)
+        memo = self._unit_load_memo
+        key = id(unit.target)
+        value = memo.get(key)
+        if value is None:
+            value = unit.load(self.metaload_fn, now)
+            memo[key] = value
+        return value
+
+    def _frag_metaload(self, frag, now: float) -> float:
+        if not fastpath.ENABLED:
+            return self.metaload_fn(frag.load_snapshot(now))
+        memo = self._unit_load_memo
+        key = id(frag)
+        value = memo.get(key)
+        if value is None:
+            value = self.metaload_fn(frag.load_snapshot(now))
+            memo[key] = value
+        return value
 
     @staticmethod
     def _fully_owned(directory: Directory, rank: int) -> bool:

@@ -1,0 +1,28 @@
+"""Global switch for the semantically-transparent fast paths.
+
+Every optimization that caches or short-circuits *simulation-visible*
+computation (policy AST/environment caches, batched counter decay,
+namespace authority/frag-map caches, transpiled load formulas) consults
+``ENABLED`` so the equivalence tests can run the same experiment down both
+paths and assert bit-identical results.
+
+Set ``REPRO_DISABLE_FAST_PATHS=1`` in the environment (or flip
+:data:`ENABLED` before building a cluster) to force the original
+straight-line code.  Structural optimizations that cannot change results
+(tuple-based event heap, precomputed lognormal parameters, ``__slots__``)
+are not gated.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: True unless REPRO_DISABLE_FAST_PATHS=1.  Read at call sites via
+#: ``fastpath.ENABLED`` so tests can monkeypatch it.
+ENABLED: bool = os.environ.get("REPRO_DISABLE_FAST_PATHS", "") != "1"
+
+
+def set_enabled(flag: bool) -> None:
+    """Flip the fast paths (used by the equivalence tests)."""
+    global ENABLED
+    ENABLED = bool(flag)

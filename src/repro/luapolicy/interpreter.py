@@ -124,10 +124,10 @@ class Interpreter:
 
     def _exec(self, stmt: ast.Stmt, env: Environment) -> None:
         self._charge()
-        method = getattr(self, f"_exec_{type(stmt).__name__}", None)
+        method = _EXEC_DISPATCH.get(stmt.__class__)
         if method is None:  # pragma: no cover - parser only emits known nodes
             raise LuaRuntimeError(f"unsupported statement {type(stmt).__name__}")
-        method(stmt, env)
+        method(self, stmt, env)
 
     def _exec_Assign(self, stmt: ast.Assign, env: Environment) -> None:
         values = self._eval_list(stmt.values, env, len(stmt.targets))
@@ -277,10 +277,10 @@ class Interpreter:
 
     def _eval(self, expr: ast.Expr, env: Environment) -> LuaValue:
         self._charge()
-        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        method = _EVAL_DISPATCH.get(expr.__class__)
         if method is None:  # pragma: no cover
             raise LuaRuntimeError(f"unsupported expression {type(expr).__name__}")
-        return method(expr, env)
+        return method(self, expr, env)
 
     def _eval_NilLiteral(self, expr: ast.NilLiteral, env: Environment) -> None:
         return None
@@ -498,3 +498,19 @@ class Interpreter:
 def _check_arity(name: str, args: tuple, n: int) -> None:
     if len(args) < n:
         raise LuaRuntimeError(f"{name} expects at least {n} argument(s)")
+
+
+def _build_dispatch(prefix: str) -> dict:
+    """Node class -> unbound handler, so the hot _exec/_eval paths do one
+    dict lookup instead of building a method-name string per node."""
+    table = {}
+    for attr in dir(Interpreter):
+        if attr.startswith(prefix):
+            node_cls = getattr(ast, attr[len(prefix):], None)
+            if node_cls is not None:
+                table[node_cls] = getattr(Interpreter, attr)
+    return table
+
+
+_EXEC_DISPATCH = _build_dispatch("_exec_")
+_EVAL_DISPATCH = _build_dispatch("_eval_")

@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
+from .. import fastpath
 from .errors import LuaRuntimeError
 from .interpreter import Environment
 from .values import (
@@ -338,23 +339,44 @@ def _table_table() -> LuaTable:
     return table
 
 
+def _stdlib_vars() -> dict[str, LuaValue]:
+    return {
+        "max": lua_max,
+        "min": lua_min,
+        "tostring": lua_tostring,
+        "tonumber": lua_tonumber,
+        "pairs": lua_pairs,
+        "ipairs": lua_ipairs,
+        "type": lua_type,
+        "assert": lua_assert,
+        "error": lua_error,
+        "math": _math_table(),
+        "string": _string_table(),
+        "table": _table_table(),
+    }
+
+
+#: Prototype stdlib bindings, built once.  ``new_environment`` clones the
+#: mutable tables (math/string/table) so one run's mutations cannot leak
+#: into the next; the builtins themselves are stateless callables.
+_STDLIB_PROTO: dict[str, LuaValue] | None = None
+
+
 def install_stdlib(env: Environment) -> Environment:
     """Install the safe builtins into *env* (typically the root scope)."""
-    env.declare("max", lua_max)
-    env.declare("min", lua_min)
-    env.declare("tostring", lua_tostring)
-    env.declare("tonumber", lua_tonumber)
-    env.declare("pairs", lua_pairs)
-    env.declare("ipairs", lua_ipairs)
-    env.declare("type", lua_type)
-    env.declare("assert", lua_assert)
-    env.declare("error", lua_error)
-    env.declare("math", _math_table())
-    env.declare("string", _string_table())
-    env.declare("table", _table_table())
+    for name, value in _stdlib_vars().items():
+        env.declare(name, value)
     return env
 
 
 def new_environment() -> Environment:
     """Fresh root environment with the stdlib installed."""
-    return install_stdlib(Environment())
+    if not fastpath.ENABLED:
+        return install_stdlib(Environment())
+    global _STDLIB_PROTO
+    if _STDLIB_PROTO is None:
+        _STDLIB_PROTO = _stdlib_vars()
+    bindings = dict(_STDLIB_PROTO)
+    for name in ("math", "string", "table"):
+        bindings[name] = bindings[name].copy_shallow()
+    return Environment(vars=bindings)

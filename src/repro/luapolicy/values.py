@@ -153,6 +153,17 @@ class LuaTable:
         for i in range(1, n + 1):
             yield float(i), self._data[i]
 
+    def copy_shallow(self) -> "LuaTable":
+        """A new table sharing no storage with this one (values are shared).
+
+        Used to clone stdlib prototype tables per environment so a policy
+        that mutates ``math``/``string``/``table`` cannot leak state into
+        later runs.
+        """
+        clone = LuaTable()
+        clone._data = self._data.copy()
+        return clone
+
     # -- python conveniences -------------------------------------------------
     def to_list(self) -> list[LuaValue]:
         """Array part as a Python list (useful in tests and the balancer)."""

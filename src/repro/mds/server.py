@@ -11,12 +11,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from ..clients.ops import MetaReply, MetaRequest, OpKind
+from ..clients.ops import (COUNTER_KIND, IS_WRITE, MetaReply, MetaRequest,
+                           OpKind)
 from ..config import ClusterConfig
 from ..metrics.collectors import ClusterMetrics, MdsMetrics
 from ..namespace.counters import LoadCounters
 from ..namespace.directory import Directory
-from ..namespace.tree import Namespace, split_path
+from ..namespace.tree import Namespace, parent_and_leaf
 from ..rados.cluster import RadosCluster
 from ..rados.journal import MdsJournal
 from ..sim.engine import Completion, SimEngine
@@ -103,7 +104,7 @@ class MdsServer:
             req.hops.append(self.rank)
         self.metrics.reqs_in_window += 1
         service = self._sample_service(req) * self.cpu_factor
-        self.station.submit((req, done), service)
+        self.station.submit((req, done), service, want_completion=False)
 
     def _retry_dead(self, req: MetaRequest, done: Completion) -> None:
         """Park a request that hit a dead rank; redeliver after a delay.
@@ -151,31 +152,16 @@ class MdsServer:
             # Service scales gently with directory size.
             entries = parent.entry_count()
             base *= 1.0 + min(8.0, entries / 20_000.0)
-        spread = self._effective_spread(parent)
-        if spread > 1.0 and req.kind.is_write:
+        spread = parent.effective_spread()
+        if spread > 1.0 and IS_WRITE[req.kind]:
             base *= 1.0 + self.config.sync_penalty * (spread - 1.0) ** 0.5
         return base
 
     @staticmethod
     def _effective_spread(directory: Directory) -> float:
-        """Effective number of ranks sharing this directory's dirfrags.
-
-        The inverse participation ratio of per-rank frag shares: 1.0 when
-        one rank owns everything, m when m ranks hold equal shares, and in
-        between for skewed spreads (4/2/1/1 -> ~2.9).  Coherency costs are
-        driven by how evenly the directory is actually spread, not by a
-        raw rank count.
-        """
-        counts: dict[int, int] = {}
-        total = 0
-        for frag in directory.frags.values():
-            rank = frag.authority()
-            counts[rank] = counts.get(rank, 0) + 1
-            total += 1
-        if total == 0 or len(counts) <= 1:
-            return 1.0
-        sum_squares = sum((n / total) ** 2 for n in counts.values())
-        return 1.0 / sum_squares
+        """Effective number of ranks sharing this directory's dirfrags
+        (inverse participation ratio; cached per authority epoch)."""
+        return directory.effective_spread()
 
     def _resolve(self, req: MetaRequest):
         """(parent directory, leaf name, dirfrag) for the request, or None."""
@@ -183,12 +169,12 @@ class MdsServer:
             if req.kind is OpKind.READDIR:
                 directory = self.namespace.resolve_dir(req.path)
                 return directory, None, next(iter(directory.frags.values()))
-            parts = split_path(req.path)
-            if not parts:
+            split = parent_and_leaf(req.path)
+            if split is None:
                 directory = self.namespace.root
                 return directory, None, next(iter(directory.frags.values()))
-            parent = self.namespace.resolve_dir("/".join(parts[:-1]))
-            return parent, parts[-1], parent.frag_for_name(parts[-1])
+            parent = self.namespace.resolve_dir(split[0])
+            return parent, split[1], parent.frag_for_name(split[1])
         except (FileNotFoundError, NotADirectoryError):
             return None
 
@@ -211,7 +197,7 @@ class MdsServer:
             )
             return
         auth = frag.authority() if frag is not None else self.rank
-        self._record_all_load(req)
+        self.all_load.hit(COUNTER_KIND[req.kind], self.engine.now)
         if auth != self.rank and len(req.hops) < MAX_HOPS:
             self.metrics.forwards += 1
             self.network.deliver(self.peers[auth].receive_request, req, done)
@@ -223,12 +209,14 @@ class MdsServer:
     def _serve(self, req: MetaRequest, done: Completion,
                parent: Directory, leaf: Optional[str]) -> None:
         now = self.engine.now
+        rank = self.rank
         self.sessions.record_request(req.client_id, parent.path(), now)
         # Mark this rank active along the path: active ranks take part in
         # each ancestor's coherency and keep their replicas fresh.
-        parent.server_activity[self.rank] = now
-        for ancestor in parent.ancestors():
-            ancestor.server_activity[self.rank] = now
+        node = parent
+        while node is not None:
+            node.server_activity[rank] = now
+            node = node.parent
         needs_fetch, remote_prefixes = self._touch_cache(parent)
         delay = 0.0
         if needs_fetch and parent.authority() != self.rank:
@@ -264,12 +252,33 @@ class MdsServer:
         Returns (parent missed -> RADOS fetch needed, number of *remote*
         ancestor inodes that missed -> cross-rank prefix traversals).
         """
-        missed = not self.cache.touch(directory.inode.ino)
+        # InodeCache.touch inlined over the ancestor chain: three-plus
+        # touches per op.  The hit path only reorders the LRU.
+        cache = self.cache
+        entries = cache._entries
+        rank = self.rank
+        ino = directory.inode.ino
+        if ino in entries:
+            entries.move_to_end(ino)
+            cache.hits += 1
+            missed = False
+        else:
+            cache.misses += 1
+            cache.insert(ino)
+            missed = True
         remote_misses = 0
-        for ancestor in directory.ancestors():
-            if not self.cache.touch(ancestor.inode.ino):
-                if ancestor.authority() != self.rank:
+        node = directory.parent
+        while node is not None:
+            ino = node.inode.ino
+            if ino in entries:
+                entries.move_to_end(ino)
+                cache.hits += 1
+            else:
+                cache.misses += 1
+                cache.insert(ino)
+                if node.authority() != rank:
                     remote_misses += 1
+            node = node.parent
         return missed, remote_misses
 
     def _maybe_invalidate_replicas(self, parent: Directory) -> None:
@@ -345,7 +354,7 @@ class MdsServer:
                     stall = flushed * self.config.session_flush_time
                     if stall > 0:
                         self.station.submit(("rename-flush", req.path),
-                                            stall)
+                                            stall, want_completion=False)
             elif kind is OpKind.READDIR:
                 entries = parent.readdir()
                 result = len(entries)
@@ -366,13 +375,13 @@ class MdsServer:
         except ValueError:
             self._reply(req, done, error="EINVAL")
             return
-        counter_kind = kind.counter_kind
+        counter_kind = COUNTER_KIND[kind]
         self.namespace.record_hit(parent, leaf, counter_kind, now)
         self.auth_load.hit(counter_kind, now)
         self.metrics.ops_served += 1
         self.cluster_metrics.timeline.record(self.rank, now)
         self._maybe_fragment(parent)
-        if kind.is_write:
+        if IS_WRITE[kind]:
             self._maybe_scatter_gather(parent)
             self._maybe_invalidate_replicas(parent)
         self._reply(req, done, result=result, parent=parent)
@@ -381,7 +390,7 @@ class MdsServer:
         """Slave writes on a spread directory occasionally trigger a full
         scatter-gather: updates on the directory halt while stats travel to
         the authoritative MDS and back (paper §4.1, footnote 3)."""
-        spread = self._effective_spread(directory)
+        spread = directory.effective_spread()
         if spread <= 1.0 or self.rank == directory.authority():
             return
         probability = (self.config.scatter_gather_prob
@@ -423,10 +432,11 @@ class MdsServer:
             directory.fragment(now=self.engine.now)
             self.metrics.fragmentations += 1
             # Fragmentation is real work on this CPU.
-            self.station.submit(("fragment", directory.path()), 0.001)
+            self.station.submit(("fragment", directory.path()), 0.001,
+                                want_completion=False)
 
     def _record_all_load(self, req: MetaRequest) -> None:
-        self.all_load.hit(req.kind.counter_kind, self.engine.now)
+        self.all_load.hit(COUNTER_KIND[req.kind], self.engine.now)
 
     def _reply(self, req: MetaRequest, done: Completion,
                result=None, error: Optional[str] = None,
@@ -435,16 +445,14 @@ class MdsServer:
         dir_path = None
         if parent is not None:
             dir_path = parent.path()
-            frag_map = tuple(
-                (frag.frag_id.bits, frag.frag_id.value, frag.authority())
-                for frag in parent.frags.values()
-            )
+            frag_map = parent.frag_map()
+        hops = len(req.hops)
         reply = MetaReply(
             req_id=req.req_id,
             kind=req.kind,
             path=req.path,
             served_by=self.rank,
-            forwards=req.forwards,
+            forwards=hops - 1 if hops > 1 else 0,
             latency=self.engine.now - req.issued_at,
             result=result,
             error=error,
@@ -489,7 +497,7 @@ class MdsServer:
                     and isinstance(payload[0], MetaRequest)):
                 req, done = payload
                 self._retry_dead(req, done)
-            elif not job.completion.done:
+            elif job.completion is not None and not job.completion.done:
                 # Internal work (fragmentation, session flushes): anyone
                 # still waiting on it was interrupted above; cancelling is
                 # ignored by their stale wait tokens.

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from .. import fastpath
 from .counters import LoadCounters
-from .dirfrag import DirFrag, FragId, name_hash
+from .dirfrag import _AUTH_EPOCH, DirFrag, FragId, bump_auth_epoch, name_hash
 from .inode import Inode
 
 #: Paper §4.1: "When the directory reaches 50,000 directory entries, it is
@@ -43,6 +44,14 @@ class Directory:
         #: recently active under a directory participate in its coherency
         #: protocol and keep their replicas fresh.
         self.server_activity: dict[int, float] = {}
+        # Derived-view caches.  The auth-keyed ones hold (epoch, value) and
+        # go stale whenever the global authority epoch moves; the path
+        # cache is invalidated explicitly on rename.
+        self._path_cache: Optional[str] = None
+        self._auth_cache: Optional[tuple[int, int]] = None
+        self._frag_map_cache = None
+        self._spread_cache: Optional[tuple[int, float]] = None
+        self._frag_lookup_cache = None
 
     # -- identity ------------------------------------------------------
     @property
@@ -52,9 +61,21 @@ class Directory:
     def path(self) -> str:
         if self.parent is None:
             return "/"
+        cached = self._path_cache
+        if cached is not None and fastpath.ENABLED:
+            return cached
         parent_path = self.parent.path()
-        return parent_path + self.name if parent_path == "/" \
+        path = parent_path + self.name if parent_path == "/" \
             else f"{parent_path}/{self.name}"
+        self._path_cache = path
+        return path
+
+    def invalidate_path_cache(self) -> None:
+        """Drop cached paths for this directory and everything below it
+        (a rename moved or renamed the subtree)."""
+        self._path_cache = None
+        for child in self.subdirs.values():
+            child.invalidate_path_cache()
 
     def depth(self) -> int:
         node, depth = self, 0
@@ -74,12 +95,19 @@ class Directory:
         if mds is None and self.parent is None:
             raise ValueError("the root directory must have an explicit auth")
         self._auth = mds
+        bump_auth_epoch()
 
     def authority(self) -> int:
+        if fastpath.ENABLED:
+            cached = self._auth_cache
+            if cached is not None and cached[0] == _AUTH_EPOCH[0]:
+                return cached[1]
         node: Optional[Directory] = self
         while node is not None:
-            if node._auth is not None:
-                return node._auth
+            auth = node._auth
+            if auth is not None:
+                self._auth_cache = (_AUTH_EPOCH[0], auth)
+                return auth
             node = node.parent
         raise RuntimeError(f"no authority anywhere above {self.path()!r}")
 
@@ -90,6 +118,7 @@ class Directory:
         """Drop explicit auth below this directory so the whole subtree
         inherits this directory's authority (called after a subtree
         migration)."""
+        bump_auth_epoch()
         for child in self.subdirs.values():
             child._auth = None
             child.clear_descendant_auth()
@@ -97,14 +126,92 @@ class Directory:
             frag.set_auth(None)
 
     # -- dirfrags ------------------------------------------------------
-    def frag_for_name(self, name: str) -> DirFrag:
-        hashed = name_hash(name)
+    def frag_map(self) -> tuple[tuple[int, int, int], ...]:
+        """``((bits, value, authority), ...)`` over this directory's frags
+        in insertion order -- what replies carry back to clients."""
+        epoch = _AUTH_EPOCH[0]
+        if fastpath.ENABLED:
+            cached = self._frag_map_cache
+            if cached is not None and cached[0] == epoch:
+                return cached[1]
+        frag_map = tuple(
+            (frag.frag_id.bits, frag.frag_id.value, frag.authority())
+            for frag in self.frags.values()
+        )
+        self._frag_map_cache = (epoch, frag_map)
+        return frag_map
+
+    def effective_spread(self) -> float:
+        """Effective number of ranks sharing this directory's dirfrags.
+
+        The inverse participation ratio of per-rank frag shares: 1.0 when
+        one rank owns everything, m when m ranks hold equal shares, and in
+        between for skewed spreads (4/2/1/1 -> ~2.9).
+        """
+        epoch = _AUTH_EPOCH[0]
+        if fastpath.ENABLED:
+            cached = self._spread_cache
+            if cached is not None and cached[0] == epoch:
+                return cached[1]
+        counts: dict[int, int] = {}
+        total = 0
         for frag in self.frags.values():
+            rank = frag.authority()
+            counts[rank] = counts.get(rank, 0) + 1
+            total += 1
+        if total == 0 or len(counts) <= 1:
+            spread = 1.0
+        else:
+            sum_squares = sum((n / total) ** 2 for n in counts.values())
+            spread = 1.0 / sum_squares
+        self._spread_cache = (epoch, spread)
+        return spread
+
+    def frag_for_name(self, name: str) -> DirFrag:
+        frags = self.frags
+        if fastpath.ENABLED:
+            # The single-frag case (no fragmentation yet) needs no hash at
+            # all; uniformly-split directories resolve with one masked
+            # dict lookup instead of a linear scan.
+            epoch = _AUTH_EPOCH[0]
+            cached = self._frag_lookup_cache
+            if cached is None or cached[0] != epoch:
+                cached = self._build_frag_lookup(epoch)
+            kind = cached[1]
+            if kind == 1:
+                return cached[2]
+            if kind == 2:
+                frag = cached[2].get(name_hash(name) & cached[3])
+                if frag is not None:
+                    return frag
+        hashed = name_hash(name)
+        for frag in frags.values():
             if frag.frag_id.contains(hashed):
                 return frag
         raise RuntimeError(  # pragma: no cover - frags always cover the space
             f"no frag covers {name!r} in {self.path()!r}"
         )
+
+    def _build_frag_lookup(self, epoch: int):
+        frags = self.frags
+        if len(frags) == 1:
+            frag = next(iter(frags.values()))
+            if frag.frag_id.bits == 0:
+                cached = (epoch, 1, frag)
+            else:  # pragma: no cover - splits always leave >= 2 frags
+                cached = (epoch, 3)
+        else:
+            all_bits = {frag.frag_id.bits for frag in frags.values()}
+            if len(all_bits) == 1:
+                bits = all_bits.pop()
+                cached = (epoch, 2,
+                          {frag.frag_id.value: frag
+                           for frag in frags.values()},
+                          (1 << bits) - 1)
+            else:
+                cached = (epoch, 3)  # mixed depths: fall back to the scan
+        self._frag_lookup_cache = cached
+        return cached
 
     def entry_count(self) -> int:
         return sum(len(frag) for frag in self.frags.values())

@@ -9,6 +9,7 @@ is hot (paper §2, "Partitioning the Namespace").
 from __future__ import annotations
 
 import zlib
+from functools import lru_cache
 from typing import TYPE_CHECKING, Iterator, Optional
 
 from .counters import LoadCounters
@@ -17,7 +18,20 @@ from .inode import Inode
 if TYPE_CHECKING:  # pragma: no cover
     from .directory import Directory
 
+#: Global authority epoch: bumped on every explicit-auth change (subtree
+#: pins, migrations, fragmentation).  Derived authority views -- resolved
+#: authority, frag maps, effective spread -- are cached per directory and
+#: keyed on this epoch, so any auth change anywhere invalidates them all
+#: at once.  Changes are rare (migration events) while reads run on every
+#: request, which is exactly the trade a global epoch wants.
+_AUTH_EPOCH = [0]
 
+
+def bump_auth_epoch() -> None:
+    _AUTH_EPOCH[0] += 1
+
+
+@lru_cache(maxsize=262144)
 def name_hash(name: str) -> int:
     """Stable 32-bit hash used for frag placement."""
     return zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
@@ -91,11 +105,13 @@ class DirFrag:
 
     def set_auth(self, mds: Optional[int]) -> None:
         self._auth = mds
+        bump_auth_epoch()
 
     def authority(self) -> int:
         """The MDS rank serving this frag (inheriting from the directory)."""
-        if self._auth is not None:
-            return self._auth
+        auth = self._auth
+        if auth is not None:
+            return auth
         return self.directory.authority()
 
     # -- entries ------------------------------------------------------------

@@ -9,17 +9,42 @@ on the wrong rank.
 
 from __future__ import annotations
 
+import math
+from functools import lru_cache
 from typing import Callable, Iterator, Optional
 
-from .counters import DEFAULT_HALF_LIFE
+from .. import fastpath
+from .counters import DEFAULT_HALF_LIFE, _MIN_DECAY_RATIO
 from .directory import DEFAULT_SPLIT_BITS, DEFAULT_SPLIT_SIZE, Directory
 from .dirfrag import DirFrag
 from .inode import Inode
 
 
-def split_path(path: str) -> list[str]:
-    """Normalize ``/a//b/`` -> ``['a', 'b']``."""
-    return [part for part in path.split("/") if part]
+@lru_cache(maxsize=262144)
+def split_path(path: str) -> tuple[str, ...]:
+    """Normalize ``/a//b/`` -> ``('a', 'b')``.
+
+    Returns a (cached, immutable) tuple: request paths are re-split several
+    times on their way through a client and an MDS, so memoizing the split
+    is one of the hottest wins in the whole simulator.
+    """
+    return tuple(part for part in path.split("/") if part)
+
+
+@lru_cache(maxsize=262144)
+def parent_and_leaf(path: str) -> Optional[tuple[str, str]]:
+    """``(parent path, leaf name)`` for *path*, or None for the root."""
+    parts = split_path(path)
+    if not parts:
+        return None
+    return "/".join(parts[:-1]), parts[-1]
+
+
+@lru_cache(maxsize=262144)
+def dirname_of(path: str) -> str:
+    """Absolute path of the directory containing *path* (``/`` for roots)."""
+    parts = split_path(path)
+    return "/" + "/".join(parts[:-1]) if len(parts) > 1 else "/"
 
 
 class Namespace:
@@ -43,10 +68,26 @@ class Namespace:
         self.root.set_auth(root_auth)
         self.inode_count = 1
         self.dir_count = 1
+        # Path -> Directory memo, flushed whenever the directory tree's
+        # shape changes (mkdir / dir unlink / rename).
+        self._dir_cache: dict[str, Directory] = {}
+        self._dir_cache_epoch = 0
+        self._tree_epoch = 0
+
+    def _bump_tree_epoch(self) -> None:
+        self._tree_epoch += 1
 
     # -- resolution ------------------------------------------------------
     def resolve_dir(self, path: str) -> Directory:
         """Resolve *path* to a Directory; raises FileNotFoundError/NotADirectoryError."""
+        if fastpath.ENABLED:
+            cache = self._dir_cache
+            if self._dir_cache_epoch != self._tree_epoch:
+                cache.clear()
+                self._dir_cache_epoch = self._tree_epoch
+            node = cache.get(path)
+            if node is not None:
+                return node
         node = self.root
         for part in split_path(path):
             child = node.subdirs.get(part)
@@ -56,6 +97,8 @@ class Namespace:
                     raise FileNotFoundError(f"{path!r} (missing {part!r})")
                 raise NotADirectoryError(f"{path!r} ({part!r} is a file)")
             node = child
+        if fastpath.ENABLED:
+            self._dir_cache[path] = node
         return node
 
     def resolve_entry(self, path: str) -> Inode:
@@ -95,6 +138,7 @@ class Namespace:
         parent.subdirs[name] = directory
         self.inode_count += 1
         self.dir_count += 1
+        self._bump_tree_epoch()
         return directory
 
     def mkdirs(self, path: str, now: float = 0.0) -> Directory:
@@ -125,6 +169,7 @@ class Namespace:
         self.inode_count -= 1
         if inode.is_dir:
             self.dir_count -= 1
+            self._bump_tree_epoch()
         return inode
 
     def rename(self, src: str, dst: str, now: float = 0.0) -> Inode:
@@ -152,6 +197,8 @@ class Namespace:
         if directory is not None:
             directory.parent = dst_parent
             dst_parent.subdirs[dst_name] = directory
+            directory.invalidate_path_cache()
+            self._bump_tree_epoch()
         return inode
 
     # -- accounting ------------------------------------------------------
@@ -165,10 +212,28 @@ class Namespace:
         """
         frag = (directory.frag_for_name(name) if name is not None
                 else next(iter(directory.frags.values())))
-        frag.record(kind, now, amount)
-        directory.counters.hit(kind, now, amount)
-        for ancestor in directory.ancestors():
-            ancestor.counters.hit(kind, now, amount)
+        # LoadCounters.hit inlined over frag + the whole ancestor chain:
+        # this is the single hottest accounting loop in the simulator
+        # (3+ hits per op).  The arithmetic matches DecayCounter exactly.
+        target = frag
+        node = directory
+        while target is not None:
+            counter = target.counters.counters.get(kind)
+            if counter is None:
+                raise KeyError(f"unknown op kind {kind!r}")
+            last = counter._last
+            if now > last:
+                value = counter._value
+                if value != 0.0:
+                    ratio = (now - last) / counter.half_life
+                    if ratio >= _MIN_DECAY_RATIO:
+                        value *= math.pow(0.5, ratio)
+                        if value < 1e-12:
+                            value = 0.0
+                        counter._value = value
+                counter._last = now
+            counter._value += amount
+            target, node = node, (node.parent if node is not None else None)
         return frag
 
     # -- authority queries ---------------------------------------------------

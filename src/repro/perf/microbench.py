@@ -1,0 +1,141 @@
+"""Microbenchmarks behind ``BENCH_sim.json``.
+
+Three numbers track the hot paths this repo optimizes:
+
+* ``events_per_sec`` -- raw engine throughput (schedule/pop/dispatch);
+* ``policy_ticks_per_sec`` -- full Mantle decision-chunk evaluations
+  (paper Listing 1: when/where over per-MDS metrics);
+* ``fig8_small_wall_s`` / ``sim_ops_per_sec`` -- an end-to-end slice of
+  the Fig 8 grid (shared-directory creates under greedy spill).
+
+``compare_benchmarks`` flags regressions beyond a tolerance so CI can fail
+on a slowdown without failing on machine-to-machine noise.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any
+
+from ..cluster import run_experiment
+from ..config import ClusterConfig
+from ..core.environment import build_decision_bindings
+from ..core.policies import STOCK_POLICIES
+from ..sim.engine import SimEngine
+from ..workloads import CreateWorkload
+
+#: Throughput metrics (higher is better) checked by compare_benchmarks.
+THROUGHPUT_KEYS = ("events_per_sec", "policy_ticks_per_sec",
+                   "sim_ops_per_sec")
+
+
+def bench_engine(num_events: int = 200_000) -> float:
+    """Events/second through an engine running a self-rescheduling chain."""
+    engine = SimEngine()
+    remaining = [num_events]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            engine.schedule(0.001, tick)
+
+    engine.schedule(0.001, tick)
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    return num_events / elapsed if elapsed > 0 else float("inf")
+
+
+def bench_policy_ticks(num_ticks: int = 2_000) -> float:
+    """Decision-chunk evaluations/second for the greedy-spill policy."""
+    policy = STOCK_POLICIES["greedy-spill"]()
+    chunk = policy.decision_chunk()
+    metrics = [
+        {"auth": 120.0 + 10 * i, "all": 150.0 + 5 * i, "cpu": 0.4,
+         "mem": 0.2, "q": 3.0 + i, "req": 900.0, "load": 120.0 + 10 * i,
+         "alive": 1.0}
+        for i in range(4)
+    ]
+    counters = {"IRD": 40.0, "IWR": 35.0, "READDIR": 2.0,
+                "FETCH": 1.0, "STORE": 0.5}
+    start = time.perf_counter()
+    for _ in range(num_ticks):
+        bindings = build_decision_bindings(
+            whoami=0, mds_metrics=metrics, local_counters=counters,
+            auth_metaload=120.0, all_metaload=150.0,
+            wrstate=lambda *_a: 0.0, rdstate=lambda: 0.0,
+        )
+        chunk.run(bindings)
+    elapsed = time.perf_counter() - start
+    return num_ticks / elapsed if elapsed > 0 else float("inf")
+
+
+def bench_fig8_small(scale: float = 1.0) -> dict[str, float]:
+    """A small end-to-end Fig 8 slice; returns wall time and ops/sec."""
+    files = max(500, int(4000 * scale))
+    config = ClusterConfig(num_mds=2, num_clients=4, seed=7,
+                           dir_split_size=max(500, files // 2))
+    workload = CreateWorkload(num_clients=4, files_per_client=files,
+                              shared_dir=True)
+    policy = STOCK_POLICIES["greedy-spill"]()
+    start = time.perf_counter()
+    report = run_experiment(config, workload, policy=policy)
+    elapsed = time.perf_counter() - start
+    return {
+        "fig8_small_wall_s": elapsed,
+        "sim_ops_per_sec": report.total_ops / elapsed if elapsed > 0
+        else float("inf"),
+    }
+
+
+def collect_benchmarks(scale: float = 1.0) -> dict[str, Any]:
+    """Run the whole suite once; returns the BENCH_sim.json payload."""
+    results: dict[str, Any] = {
+        "events_per_sec": bench_engine(max(20_000, int(200_000 * scale))),
+        "policy_ticks_per_sec": bench_policy_ticks(
+            max(200, int(2_000 * scale))),
+    }
+    results.update(bench_fig8_small(scale))
+    results["meta"] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scale": scale,
+    }
+    return results
+
+
+def compare_benchmarks(current: dict[str, Any], baseline: dict[str, Any],
+                       tolerance: float = 0.30) -> list[str]:
+    """Regressions: throughput metrics below ``baseline * (1 - tolerance)``.
+
+    Only relative throughput is compared -- absolute numbers move with the
+    host.  Returns human-readable problem strings (empty = healthy).
+    """
+    problems = []
+    for key in THROUGHPUT_KEYS:
+        base = baseline.get(key)
+        now = current.get(key)
+        if not isinstance(base, (int, float)) or base <= 0:
+            continue
+        if not isinstance(now, (int, float)):
+            problems.append(f"{key}: missing from current results")
+            continue
+        floor = base * (1.0 - tolerance)
+        if now < floor:
+            problems.append(
+                f"{key}: {now:.0f}/s is {now / base:.2f}x baseline "
+                f"{base:.0f}/s (floor {floor:.0f}/s)"
+            )
+    return problems
+
+
+def write_benchmarks(path: str | Path, results: dict[str, Any]) -> None:
+    Path(path).write_text(json.dumps(results, indent=2, sort_keys=True)
+                          + "\n")
+
+
+def load_benchmarks(path: str | Path) -> dict[str, Any]:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,37 @@
+"""cProfile plumbing for ``mantle-sim run --profile``."""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional, TextIO
+
+
+@contextmanager
+def profiled(top: int = 25, sort: str = "cumulative",
+             out_path: Optional[str] = None,
+             stream: Optional[TextIO] = None) -> Iterator[cProfile.Profile]:
+    """Profile the body; print the *top* functions, optionally dump stats.
+
+    The table goes to *stream* (default stderr, keeping stdout clean for
+    the run's own report); *out_path* additionally saves the raw profile
+    for ``snakeviz``/``pstats`` digging.
+    """
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield profile
+    finally:
+        profile.disable()
+        if out_path:
+            profile.dump_stats(out_path)
+        buffer = io.StringIO()
+        stats = pstats.Stats(profile, stream=buffer)
+        stats.sort_stats(sort).print_stats(top)
+        target = stream if stream is not None else sys.stderr
+        target.write(buffer.getvalue())
+        if out_path:
+            target.write(f"profile written to {out_path}\n")

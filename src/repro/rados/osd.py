@@ -46,7 +46,8 @@ class Osd:
         # Async flush to the data disk; nobody waits on it, but it consumes
         # disk time and delays subsequent reads.
         self.disk.submit(("flush", obj, size),
-                         self.disk_service.scaled(_size_factor(size)))
+                         self.disk_service.scaled(_size_factor(size)),
+                         want_completion=False)
         return completion
 
     def read(self, obj: str, size: int) -> Completion:

@@ -14,9 +14,11 @@ The engine is deterministic: ties in time are broken by insertion order.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, Optional
+
+from .. import fastpath
 
 
 class CancelledError(Exception):
@@ -24,7 +26,12 @@ class CancelledError(Exception):
 
 
 class EventHandle:
-    """Handle to a scheduled callback; supports O(1) cancellation."""
+    """Handle to a scheduled callback; supports O(1) cancellation.
+
+    The heap itself stores ``(time, seq, handle)`` tuples so ordering is
+    resolved by C-level tuple comparison without calling back into Python;
+    the handle carries the payload and the cancellation flag.
+    """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
 
@@ -68,7 +75,14 @@ class Completion:
         return self._value
 
     def succeed(self, value: Any = None) -> None:
-        self._finish(value, None)
+        # _finish inlined: success is the per-op common case.
+        if self._done:
+            raise RuntimeError("completion already done")
+        self._done = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
 
     def fail(self, error: BaseException) -> None:
         self._finish(None, error)
@@ -109,6 +123,8 @@ class Process:
     so interrupting never touches the completion being waited on -- other
     waiters see it fire normally.
     """
+
+    __slots__ = ("engine", "generator", "name", "completion", "_wait_token")
 
     def __init__(self, engine: "SimEngine",
                  generator: Generator[Any, Any, Any], name: str = "") -> None:
@@ -168,15 +184,23 @@ class Process:
         self._wait_token += 1
         token = self._wait_token
         if isinstance(yielded, Completion):
-            def on_done(completion: Completion) -> None:
-                try:
-                    value = completion.value
-                except BaseException as exc:  # noqa: BLE001 - forwarded
+            if fastpath.ENABLED:
+                # Resume synchronously when the completion fires instead of
+                # bouncing through a zero-delay event.  Sim time is the same
+                # either way; only exact-timestamp ties could order
+                # differently, so this rides the fastpath toggle.
+                def on_done(completion: Completion) -> None:
+                    if token != self._wait_token or self.completion._done:
+                        return  # superseded by an interrupt
+                    error = completion._error
+                    self._resume(None if error is not None
+                                 else completion._value, error)
+            else:
+                def on_done(completion: Completion) -> None:
+                    error = completion._error
                     self.engine.schedule(0.0, self._resume_guard, token,
-                                         None, exc)
-                    return
-                self.engine.schedule(0.0, self._resume_guard, token,
-                                     value, None)
+                                         None if error is not None
+                                         else completion._value, error)
 
             yielded.add_callback(on_done)
         elif isinstance(yielded, (int, float)):
@@ -191,14 +215,58 @@ class Process:
             )
 
 
+#: Compaction is considered once every this many schedules...
+_COMPACT_EVERY_MASK = 0x3FFF
+#: ...and only bothers when the heap is at least this large.
+_COMPACT_MIN_HEAP = 8192
+
+
+class _PeriodicTimer:
+    """Allocation-free periodic callback: one EventHandle, re-armed in place.
+
+    ``engine.every`` used to build a fresh handle per tick; the heartbeat
+    loop re-arms every 10 simulated seconds on every rank, so reusing the
+    handle keeps the hot loop allocation-free.  Firing order is unchanged:
+    each re-arm consumes the next sequence number exactly as a fresh
+    ``schedule`` call would.
+    """
+
+    __slots__ = ("engine", "interval", "fn", "jitter", "stopped", "handle")
+
+    def __init__(self, engine: "SimEngine", interval: float,
+                 fn: Callable[[], None],
+                 jitter: Callable[[], float] | None) -> None:
+        self.engine = engine
+        self.interval = interval
+        self.fn = fn
+        self.jitter = jitter
+        self.stopped = False
+        self.handle: EventHandle | None = None
+
+    def tick(self) -> None:
+        if self.stopped:
+            return
+        self.fn()
+        delay = self.interval + (self.jitter() if self.jitter else 0.0)
+        engine = self.engine
+        handle = self.handle
+        handle.time = engine.now + max(1e-9, delay)
+        handle.seq = next(engine._seq)
+        heappush(engine._heap, (handle.time, handle.seq, handle))
+
+    def stop(self) -> None:
+        self.stopped = True
+
+
 class SimEngine:
     """The event loop: heap of (time, seq) ordered callbacks."""
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._heap: list[EventHandle] = []
+        self._heap: list[tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self._executed = 0
+        self._scheduled = 0
 
     # -- scheduling -----------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., None],
@@ -206,9 +274,38 @@ class SimEngine:
         """Run ``fn(*args)`` after *delay* simulated seconds."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        handle = EventHandle(self.now + delay, next(self._seq), fn, args)
-        heapq.heappush(self._heap, handle)
+        time = self.now + delay
+        seq = next(self._seq)
+        # EventHandle built without the __init__ frame: one handle per
+        # event makes this the most-allocated object in the simulator.
+        handle = EventHandle.__new__(EventHandle)
+        handle.time = time
+        handle.seq = seq
+        handle.fn = fn
+        handle.args = args
+        handle.cancelled = False
+        heappush(self._heap, (time, seq, handle))
+        self._scheduled += 1
+        if (self._scheduled & _COMPACT_EVERY_MASK) == 0 \
+                and len(self._heap) >= _COMPACT_MIN_HEAP:
+            self._maybe_compact()
         return handle
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap when cancelled entries dominate it.
+
+        Cancelled handles are lazily deleted (skipped on pop); workloads
+        that cancel a lot of far-future events (crash drains, abandoned
+        deadlines) would otherwise keep dead entries resident.  Rebuilding
+        preserves (time, seq) ordering exactly, so execution order -- and
+        therefore results -- cannot change.
+        """
+        heap = self._heap
+        live = [entry for entry in heap if not entry[2].cancelled]
+        if len(live) * 2 <= len(heap):
+            # In place: run loops hold a local alias to the heap list.
+            heap[:] = live
+            heapify(heap)
 
     def schedule_at(self, time: float, fn: Callable[..., None],
                     *args: Any) -> EventHandle:
@@ -223,23 +320,10 @@ class SimEngine:
         """Run *fn* periodically.  Returns a stop function."""
         if interval <= 0:
             raise ValueError("interval must be positive")
-        stopped = False
-
-        def tick() -> None:
-            if stopped:
-                return
-            fn()
-            delay = interval + (jitter() if jitter else 0.0)
-            self.schedule(max(1e-9, delay), tick)
-
+        timer = _PeriodicTimer(self, interval, fn, jitter)
         first = interval if start_after is None else start_after
-        self.schedule(max(0.0, first), tick)
-
-        def stop() -> None:
-            nonlocal stopped
-            stopped = True
-
-        return stop
+        timer.handle = self.schedule(max(0.0, first), timer.tick)
+        return timer.stop
 
     # -- futures & processes --------------------------------------------
     def completion(self) -> Completion:
@@ -257,7 +341,7 @@ class SimEngine:
     # -- execution -------------------------------------------------------
     @property
     def pending(self) -> int:
-        return sum(1 for handle in self._heap if not handle.cancelled)
+        return sum(1 for entry in self._heap if not entry[2].cancelled)
 
     @property
     def events_executed(self) -> int:
@@ -265,13 +349,14 @@ class SimEngine:
 
     def step(self) -> bool:
         """Execute the next event; returns False when the heap is empty."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            when, _seq, handle = heappop(heap)
             if handle.cancelled:
                 continue
-            if handle.time < self.now - 1e-12:  # pragma: no cover - invariant
+            if when < self.now - 1e-12:  # pragma: no cover - invariant
                 raise RuntimeError("time went backwards")
-            self.now = handle.time
+            self.now = when
             self._executed += 1
             handle.fn(*handle.args)
             return True
@@ -279,14 +364,20 @@ class SimEngine:
 
     def run_until(self, time: float) -> None:
         """Run all events with timestamp <= *time*; clock ends at *time*."""
-        while self._heap:
-            handle = self._heap[0]
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            handle = entry[2]
             if handle.cancelled:
-                heapq.heappop(self._heap)
+                heappop(heap)
                 continue
-            if handle.time > time:
+            when = entry[0]
+            if when > time:
                 break
-            self.step()
+            heappop(heap)
+            self.now = when
+            self._executed += 1
+            handle.fn(*handle.args)
         self.now = max(self.now, time)
 
     def run(self, max_events: int | None = None) -> None:
@@ -302,12 +393,20 @@ class SimEngine:
     def run_until_complete(self, completion: Completion,
                            max_events: int | None = None) -> Any:
         """Run until *completion* fires; returns its value."""
+        heap = self._heap
         count = 0
-        while not completion.done:
-            if not self.step():
-                raise RuntimeError(
-                    "event heap drained before completion fired"
-                )
+        while not completion._done:
+            while True:
+                if not heap:
+                    raise RuntimeError(
+                        "event heap drained before completion fired"
+                    )
+                when, _seq, handle = heappop(heap)
+                if not handle.cancelled:
+                    break
+            self.now = when
+            self._executed += 1
+            handle.fn(*handle.args)
             count += 1
             if max_events is not None and count >= max_events:
                 raise RuntimeError(

@@ -8,11 +8,17 @@ MDS state").
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable
 
 import numpy as np
 
-from .engine import Completion, SimEngine
+from .. import fastpath
+from .engine import (_COMPACT_EVERY_MASK, _COMPACT_MIN_HEAP, Completion,
+                     EventHandle, SimEngine)
+
+#: Jitter samples drawn per vectorized RNG call.
+_JITTER_BATCH = 1024
 
 
 class Network:
@@ -26,24 +32,92 @@ class Network:
         self.base_latency = float(base_latency)
         self.jitter_cv = float(jitter_cv)
         self.messages_sent = 0
+        # Vectorized jitter: the "network" RNG stream is consumed only by
+        # this class and only with these (mu, sigma), and numpy's Generator
+        # yields the same draw sequence for one size=N call as for N scalar
+        # calls -- so refilling a batch preserves the exact delay sequence.
+        self._jitter_buf: list[float] = []
+        self._jitter_idx = 0
+        # The lognormal parameters only depend on the configuration; one
+        # log/sqrt at construction instead of two logs + a sqrt per message.
+        if self.jitter_cv > 0:
+            sigma2 = np.log(1.0 + self.jitter_cv ** 2)
+            self._mu = np.log(self.base_latency) - sigma2 / 2.0
+            self._sigma = np.sqrt(sigma2)
+        else:
+            self._mu = self._sigma = 0.0
+
+    def _refill_jitter(self) -> float:
+        buf = self.rng.lognormal(self._mu, self._sigma,
+                                 size=_JITTER_BATCH).tolist()
+        self._jitter_buf = buf
+        self._jitter_idx = 1
+        return buf[0]
 
     def one_way(self) -> float:
         """Sample one one-way latency."""
         self.messages_sent += 1
         if self.jitter_cv <= 0:
             return self.base_latency
-        sigma2 = np.log(1.0 + self.jitter_cv ** 2)
-        mu = np.log(self.base_latency) - sigma2 / 2.0
-        return float(self.rng.lognormal(mu, np.sqrt(sigma2)))
+        if fastpath.ENABLED:
+            idx = self._jitter_idx
+            buf = self._jitter_buf
+            if idx < len(buf):
+                self._jitter_idx = idx + 1
+                return buf[idx]
+            return self._refill_jitter()
+        return float(self.rng.lognormal(self._mu, self._sigma))
 
     def deliver(self, handler: Callable[..., None], *args: Any) -> None:
         """Invoke *handler(args)* after one network hop."""
-        self.engine.schedule(self.one_way(), handler, *args)
+        # one_way() and engine.schedule() inlined: deliver runs two to four
+        # times per metadata op, and a delay from here is never negative or
+        # cancelled.  The scheduling bookkeeping matches schedule() exactly.
+        self.messages_sent += 1
+        if self.jitter_cv <= 0:
+            delay = self.base_latency
+        elif fastpath.ENABLED:
+            idx = self._jitter_idx
+            buf = self._jitter_buf
+            if idx < len(buf):
+                self._jitter_idx = idx + 1
+                delay = buf[idx]
+            else:
+                delay = self._refill_jitter()
+        else:
+            delay = float(self.rng.lognormal(self._mu, self._sigma))
+        engine = self.engine
+        time = engine.now + delay
+        seq = next(engine._seq)
+        handle = EventHandle.__new__(EventHandle)
+        handle.time = time
+        handle.seq = seq
+        handle.fn = handler
+        handle.args = args
+        handle.cancelled = False
+        heappush(engine._heap, (time, seq, handle))
+        engine._scheduled += 1
+        if (engine._scheduled & _COMPACT_EVERY_MASK) == 0 \
+                and len(engine._heap) >= _COMPACT_MIN_HEAP:
+            engine._maybe_compact()
 
     def deliver_after(self, extra_delay: float,
                       handler: Callable[..., None], *args: Any) -> None:
         """Invoke *handler(args)* after one hop plus *extra_delay*."""
-        self.engine.schedule(self.one_way() + extra_delay, handler, *args)
+        self.messages_sent += 1
+        if self.jitter_cv <= 0:
+            delay = self.base_latency
+        elif fastpath.ENABLED:
+            idx = self._jitter_idx
+            buf = self._jitter_buf
+            if idx < len(buf):
+                self._jitter_idx = idx + 1
+                delay = buf[idx]
+            else:
+                delay = self._refill_jitter()
+        else:
+            delay = float(self.rng.lognormal(self._mu, self._sigma))
+        self.engine.schedule(delay + extra_delay, handler, *args)
 
     def request(self, handler: Callable[[Completion], None]) -> Completion:
         """One-hop request whose response is signalled through a completion.

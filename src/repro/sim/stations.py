@@ -9,11 +9,13 @@ metrics of paper Table 2).
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Callable
 
 import numpy as np
 
-from .engine import Completion, EventHandle, SimEngine
+from .engine import (_COMPACT_EVERY_MASK, _COMPACT_MIN_HEAP, Completion,
+                     EventHandle, SimEngine)
 from .rng import ServiceTime
 
 
@@ -126,16 +128,22 @@ class FifoStation:
 
     # -- submission ------------------------------------------------------
     def submit(self, payload: Any,
-               service: float | ServiceTime | None = None) -> Completion:
+               service: float | ServiceTime | None = None,
+               want_completion: bool = True) -> Completion | None:
         """Queue *payload*; the returned completion fires with the executor's
-        return value once service completes."""
+        return value once service completes.
+
+        Callers that discard the completion (fire-and-forget work such as
+        request intake and background flushes) pass ``want_completion=False``
+        to skip allocating it -- one Completion per metadata op otherwise.
+        """
         if isinstance(service, ServiceTime):
             service_time = service.sample(self.rng)
         elif service is None:
             raise ValueError("service time required")
         else:
             service_time = float(service)
-        completion = self.engine.completion()
+        completion = self.engine.completion() if want_completion else None
         job = Job(payload, service_time, completion, self.engine.now)
         self._queue.append(job)
         self._dispatch()
@@ -149,11 +157,27 @@ class FifoStation:
             self._start(job)
 
     def _start(self, job: Job) -> None:
+        engine = self.engine
+        now = engine.now
         self._busy_servers += 1
         slot = id(job)
-        self._busy_since[slot] = self.engine.now
-        self.total_wait += self.engine.now - job.enqueued_at
-        handle = self.engine.schedule(job.service, self._finish, job, slot)
+        self._busy_since[slot] = now
+        self.total_wait += now - job.enqueued_at
+        # engine.schedule() inlined (service times are never negative);
+        # the bookkeeping matches schedule() exactly.
+        time = now + job.service
+        seq = next(engine._seq)
+        handle = EventHandle.__new__(EventHandle)
+        handle.time = time
+        handle.seq = seq
+        handle.fn = self._finish
+        handle.args = (job, slot)
+        handle.cancelled = False
+        heappush(engine._heap, (time, seq, handle))
+        engine._scheduled += 1
+        if (engine._scheduled & _COMPACT_EVERY_MASK) == 0 \
+                and len(engine._heap) >= _COMPACT_MIN_HEAP:
+            engine._maybe_compact()
         self._in_service[slot] = (job, handle)
 
     def _finish(self, job: Job, slot: int) -> None:
@@ -169,6 +193,9 @@ class FifoStation:
         result: Any = None
         if self.executor is not None:
             result = self.executor(job.payload)
-        if not job.completion.done:
-            job.completion.succeed(result)
-        self._dispatch()
+        completion = job.completion
+        if completion is not None and not completion._done:
+            completion.succeed(result)
+        if self._queue and not self._paused \
+                and self._busy_servers < self.servers:
+            self._dispatch()

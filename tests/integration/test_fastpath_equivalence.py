@@ -1,0 +1,150 @@
+"""Fast paths must be invisible: identical results with and without them.
+
+Every gated optimization (policy AST/constant caches, transpiled load
+formulas, batched counter decay, namespace caches, synchronous process
+resume, batched network jitter) runs the same experiment twice -- fast
+paths on, fast paths off -- and the reports must match *exactly*: same
+summary line, same latency percentiles bit-for-bit, same balancing
+decisions with the same export lists.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import fastpath
+from repro.cluster import run_experiment
+from repro.config import ClusterConfig
+from repro.core.policies import STOCK_POLICIES
+from repro.namespace.counters import DecayCounter, LoadCounters
+from repro.perf.sweep import build_specs, run_sweep
+from repro.sim.engine import SimEngine
+from repro.sim.network import Network
+from repro.workloads import CreateWorkload, ZipfWorkload
+
+
+@pytest.fixture(autouse=True)
+def _restore_fastpath():
+    original = fastpath.ENABLED
+    yield
+    fastpath.set_enabled(original)
+
+
+def _digest(report) -> list[str]:
+    """Everything observable about a run, with full float precision."""
+    lines = [report.summary_line()]
+    lat = report.latency_summary()
+    lines.append(f"lat mean={lat.mean!r} p95={lat.p95!r} p99={lat.p99!r}")
+    for d in report.decisions:
+        lines.append(
+            f"t={d.time!r} rank={d.rank} went={d.went} "
+            f"targets={sorted(d.targets.items())!r} skip={d.skipped} "
+            f"err={d.error} exports={d.exports!r}"
+        )
+    return lines
+
+
+def _run_create(policy_name: str) -> list[str]:
+    policy = (STOCK_POLICIES[policy_name]()
+              if policy_name != "none" else None)
+    report = run_experiment(
+        ClusterConfig(num_mds=3, num_clients=4, seed=11,
+                      dir_split_size=600),
+        CreateWorkload(num_clients=4, files_per_client=4000,
+                       shared_dir=True),
+        policy=policy,
+    )
+    return _digest(report)
+
+
+def _run_zipf(policy_name: str) -> list[str]:
+    report = run_experiment(
+        ClusterConfig(num_mds=2, num_clients=3, seed=5,
+                      dir_split_size=800),
+        ZipfWorkload(num_clients=3, num_files=2000, ops_per_client=4000,
+                     seed=5),
+        policy=STOCK_POLICIES[policy_name](),
+    )
+    return _digest(report)
+
+
+@pytest.mark.parametrize("policy_name", [
+    "none",
+    "cephfs-original",
+    "greedy-spill",
+    "fill-and-spill",
+    "adaptable",
+])
+def test_create_workload_equivalence(policy_name):
+    fastpath.set_enabled(True)
+    fast = _run_create(policy_name)
+    fastpath.set_enabled(False)
+    slow = _run_create(policy_name)
+    assert fast == slow
+
+
+def test_zipf_workload_equivalence():
+    fastpath.set_enabled(True)
+    fast = _run_zipf("greedy-spill")
+    fastpath.set_enabled(False)
+    slow = _run_zipf("greedy-spill")
+    assert fast == slow
+
+
+def test_batched_decay_snapshot_matches_per_counter_decay():
+    """LoadCounters.snapshot's grouped decay equals per-counter decay."""
+
+    def build():
+        counters = LoadCounters(half_life=5.0)
+        t = 0.0
+        for i in range(200):
+            t += 0.37
+            counters.hit("IRD" if i % 3 else "IWR", t, amount=1.0 + i % 5)
+            if i % 7 == 0:
+                counters.hit("READDIR", t)
+        return counters, t
+
+    fastpath.set_enabled(True)
+    fast_counters, t = build()
+    fast = fast_counters.snapshot(t + 2.5)
+    fastpath.set_enabled(False)
+    slow_counters, t = build()
+    slow = slow_counters.snapshot(t + 2.5)
+    assert fast == slow
+
+
+def test_decay_counter_inline_arithmetic_matches_reference():
+    """The decay arithmetic copied into the hit() fast paths stays exact."""
+    counter = DecayCounter(half_life=4.0)
+    mirror = 0.0
+    now = 0.0
+    for i in range(50):
+        gap = 0.2 + (i % 9) * 0.31
+        now += gap
+        counter.hit(now, amount=2.0)
+        mirror *= math.pow(0.5, gap / 4.0)
+        if mirror < 1e-12:
+            mirror = 0.0
+        mirror += 2.0
+        assert counter.get(now) == pytest.approx(mirror, rel=1e-12)
+
+
+def test_network_jitter_batching_preserves_draw_sequence():
+    """Batched lognormal refills replay the exact scalar draw sequence."""
+
+    def delays(enabled: bool) -> list[float]:
+        fastpath.set_enabled(enabled)
+        network = Network(SimEngine(),
+                          np.random.Generator(np.random.PCG64(123)))
+        return [network.one_way() for _ in range(3000)]
+
+    assert delays(True) == delays(False)
+
+
+def test_sweep_parallel_matches_serial():
+    specs = build_specs([0, 1], ["greedy-spill"],
+                        files_per_client=300, dir_split_size=200)
+    serial = run_sweep(specs, jobs=1)
+    parallel = run_sweep(specs, jobs=2)
+    assert serial == parallel

@@ -7,10 +7,11 @@ from repro.namespace.tree import Namespace, split_path
 
 class TestSplitPath:
     def test_normalisation(self):
-        assert split_path("/a/b/c") == ["a", "b", "c"]
-        assert split_path("a//b/") == ["a", "b"]
-        assert split_path("/") == []
-        assert split_path("") == []
+        # Returns an immutable tuple: results are memoized and shared.
+        assert split_path("/a/b/c") == ("a", "b", "c")
+        assert split_path("a//b/") == ("a", "b")
+        assert split_path("/") == ()
+        assert split_path("") == ()
 
 
 class TestResolution:
