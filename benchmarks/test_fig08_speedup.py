@@ -6,7 +6,8 @@ evenly to 4 ~ up to -40% (but most stable); Fill & Spill +6..9%, with
 spilling 25% of the load beating 10% (§4.2).
 """
 
-from repro.cluster import run_experiment
+from functools import partial
+
 from repro.core.policies import (
     fill_spill_policy,
     greedy_spill_even_policy,
@@ -17,6 +18,7 @@ from repro.workloads import CreateWorkload
 from harness import (
     FILES_PER_CLIENT,
     base_config,
+    run_cells,
     speedup_pct,
     write_report,
 )
@@ -31,30 +33,32 @@ def run_grid():
                               files_per_client=FILES_PER_CLIENT,
                               shared_dir=True)
 
-    grid = {}
-    grid["1 MDS (baseline)"] = run_experiment(
-        base_config(num_mds=1, num_clients=CLIENTS), workload())
-    grid["greedy spill -> 2 MDS"] = run_experiment(
-        base_config(num_mds=2, num_clients=CLIENTS), workload(),
-        policy=greedy_spill_policy())
-    grid["greedy spill -> 3 MDS (uneven)"] = run_experiment(
-        base_config(num_mds=3, num_clients=CLIENTS), workload(),
-        policy=greedy_spill_policy())
-    grid["greedy spill -> 4 MDS (uneven)"] = run_experiment(
-        base_config(num_mds=4, num_clients=CLIENTS), workload(),
-        policy=greedy_spill_policy())
-    grid["greedy spill -> 4 MDS (even)"] = run_experiment(
-        base_config(num_mds=4, num_clients=CLIENTS), workload(),
-        policy=greedy_spill_even_policy())
-    grid["fill & spill 25%"] = run_experiment(
-        base_config(num_mds=4, num_clients=CLIENTS), workload(),
-        policy=fill_spill_policy(spill_fraction=0.25,
-                                 cpu_threshold=FILL_CPU_THRESHOLD))
-    grid["fill & spill 10%"] = run_experiment(
-        base_config(num_mds=4, num_clients=CLIENTS), workload(),
-        policy=fill_spill_policy(spill_fraction=0.10,
-                                 cpu_threshold=FILL_CPU_THRESHOLD))
-    return grid
+    # All seven cells share one namespace build; the three 4-MDS policy
+    # cells additionally share their pre-heartbeat simulation prefix.
+    return run_cells([
+        ("1 MDS (baseline)",
+         base_config(num_mds=1, num_clients=CLIENTS), workload, None),
+        ("greedy spill -> 2 MDS",
+         base_config(num_mds=2, num_clients=CLIENTS), workload,
+         greedy_spill_policy),
+        ("greedy spill -> 3 MDS (uneven)",
+         base_config(num_mds=3, num_clients=CLIENTS), workload,
+         greedy_spill_policy),
+        ("greedy spill -> 4 MDS (uneven)",
+         base_config(num_mds=4, num_clients=CLIENTS), workload,
+         greedy_spill_policy),
+        ("greedy spill -> 4 MDS (even)",
+         base_config(num_mds=4, num_clients=CLIENTS), workload,
+         greedy_spill_even_policy),
+        ("fill & spill 25%",
+         base_config(num_mds=4, num_clients=CLIENTS), workload,
+         partial(fill_spill_policy, spill_fraction=0.25,
+                 cpu_threshold=FILL_CPU_THRESHOLD)),
+        ("fill & spill 10%",
+         base_config(num_mds=4, num_clients=CLIENTS), workload,
+         partial(fill_spill_policy, spill_fraction=0.10,
+                 cpu_threshold=FILL_CPU_THRESHOLD)),
+    ])
 
 
 def test_fig08_speedup(benchmark):

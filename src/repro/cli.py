@@ -156,7 +156,8 @@ def _parse_seeds(text: str) -> list[int]:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from .perf.sweep import build_specs, format_report, run_sweep
+    from .perf.cache import open_cache
+    from .perf.sweep import build_specs, format_report, run_sweep_cached
     seeds = _parse_seeds(args.seeds)
     policies = [part.strip() for part in args.policies.split(",")
                 if part.strip()]
@@ -172,8 +173,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
-    records = run_sweep(specs, jobs=args.jobs)
+    cache = open_cache(enabled=not args.no_cache)
+    records, hits, misses = run_sweep_cached(
+        specs, jobs=args.jobs, warm=not args.cold, cache=cache)
     sys.stdout.write(format_report(records))
+    # The footer goes to stderr: stdout stays byte-identical across
+    # cold/warm/cached runs (the CI determinism check diffs stdout).
+    if cache is not None:
+        print(f"cache: {hits} hit{'s' if hits != 1 else ''}, "
+              f"{misses} miss{'es' if misses != 1 else ''} "
+              f"({cache.root})", file=sys.stderr)
     if args.out:
         import json
         Path(args.out).write_text(
@@ -181,15 +190,44 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .perf.cache import ResultCache
+    cache = ResultCache()
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"dir:     {stats['dir']}")
+        print(f"entries: {stats['entries']} "
+              f"({stats['records']} records, {stats['objects']} objects)")
+        print(f"bytes:   {stats['bytes']}")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
+        return 0
+    raise SystemExit(f"unknown cache action {args.action!r}")
+
+
+#: The tracked microbenchmark baseline, relative to the repo root.
+TRACKED_BASELINE = Path("benchmarks/perf/BENCH_sim.json")
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .perf.microbench import (collect_benchmarks, compare_benchmarks,
                                   load_benchmarks, write_benchmarks)
+    if args.update and not TRACKED_BASELINE.parent.is_dir():
+        raise SystemExit(
+            f"--update rewrites {TRACKED_BASELINE} in place; run from the "
+            "repository root (benchmarks/perf/ not found here)")
     results = collect_benchmarks(scale=args.scale)
     for key in sorted(results):
         if key != "meta":
-            print(f"{key:<22} {results[key]:.1f}")
+            print(f"{key:<26} {results[key]:.1f}")
     if args.json:
         write_benchmarks(args.json, results)
+    if args.update:
+        write_benchmarks(TRACKED_BASELINE, results)
+        print(f"baseline updated: {TRACKED_BASELINE}", file=sys.stderr)
     if args.baseline:
         problems = compare_benchmarks(results, load_benchmarks(args.baseline))
         for problem in problems:
@@ -272,6 +310,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "byte-identical either way)")
     sweep.add_argument("--out", default=None, metavar="FILE",
                        help="also write per-cell records as JSON")
+    sweep.add_argument("--cold", action="store_true",
+                       help="disable fork-based warm starts; run every "
+                            "cell from scratch (results are byte-identical "
+                            "either way)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="skip the result cache (REPRO_NO_CACHE=1 "
+                            "does the same)")
     sweep.set_defaults(func=cmd_sweep)
 
     bench = sub.add_parser(
@@ -283,7 +328,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--baseline", default=None, metavar="FILE",
                        help="compare against a baseline BENCH_sim.json; "
                             "exit 1 on >30%% throughput regression")
+    bench.add_argument("--update", action="store_true",
+                       help="rewrite the tracked baseline "
+                            "(benchmarks/perf/BENCH_sim.json) in place; "
+                            "run from the repository root")
     bench.set_defaults(func=cmd_bench)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -177,7 +177,8 @@ class SimulatedCluster:
                  policy: Optional[MantlePolicy] = None,
                  heat_sampling: float | None = None,
                  heat_depth: int = 4,
-                 fault_schedule: Optional[FaultSchedule] = None) -> None:
+                 fault_schedule: Optional[FaultSchedule] = None,
+                 namespace: Optional[Namespace] = None) -> None:
         config.validate()
         self.config = config
         self.engine = SimEngine()
@@ -191,12 +192,12 @@ class SimulatedCluster:
             self.engine, self.network, self.rngs,
             num_osds=config.num_osds,
         )
-        self.namespace = Namespace(
-            half_life=config.decay_half_life,
-            split_size=config.dir_split_size,
-            split_bits=config.dir_split_bits,
-            root_auth=0,
-        )
+        # A pre-built (possibly pre-populated) namespace may be supplied by
+        # the warm-start cell server so sibling cells share one construction
+        # pass; it must have been built by build_namespace(config) with the
+        # same namespace-relevant config fields.
+        self.namespace = (namespace if namespace is not None
+                          else self.build_namespace(config))
         self.metrics = ClusterMetrics()
         self.mdss = [
             MdsServer(self.engine, rank, self.namespace, self.network,
@@ -215,12 +216,26 @@ class SimulatedCluster:
             self.heat = HeatSampler(self.engine, self.namespace,
                                     interval=heat_sampling,
                                     max_depth=heat_depth)
+        # Staged-run state (begin_workload / finish_workload).
+        self._all_done = None
+        self._max_time = 36_000.0
+        self._deadline = None
         self.injector: Optional[FaultInjector] = None
         if fault_schedule is not None and len(fault_schedule) > 0:
             # The dedicated stream keeps no-fault runs byte-identical:
             # without faults nothing ever draws from it.
             self.injector = FaultInjector(self, fault_schedule,
                                           self.rngs.stream("faults"))
+
+    @staticmethod
+    def build_namespace(config: ClusterConfig) -> Namespace:
+        """The namespace exactly as ``__init__`` would build it."""
+        return Namespace(
+            half_life=config.decay_half_life,
+            split_size=config.dir_split_size,
+            split_bits=config.dir_split_bits,
+            root_auth=0,
+        )
 
     # -- policy injection ---------------------------------------------------
     def set_policy(self, policy: MantlePolicy) -> None:
@@ -276,7 +291,23 @@ class SimulatedCluster:
     def run_workload(self, workload: Workload,
                      max_time: float = 36_000.0) -> SimReport:
         """Prepare, start clients and heartbeats, run to completion."""
-        workload.prepare(self.namespace)
+        self.begin_workload(workload, max_time=max_time)
+        return self.finish_workload()
+
+    def begin_workload(self, workload: Workload,
+                       max_time: float = 36_000.0,
+                       skip_prepare: bool = False) -> None:
+        """Stage 1 of a run: prepare, start clients/heartbeats, arm the
+        completion and deadline -- everything up to executing events.
+
+        ``skip_prepare`` is for the warm-start path, whose construction
+        server already ran ``workload.prepare`` into the shared namespace.
+        Everything here (including the deadline event) is scheduled in the
+        same order as an unsplit run, so event sequence numbers -- and
+        therefore tie-breaking, and therefore results -- are identical.
+        """
+        if not skip_prepare:
+            workload.prepare(self.namespace)
         if self.injector is not None:
             self.injector.arm()
         self.clients = build_clients(
@@ -302,19 +333,41 @@ class SimulatedCluster:
 
         for client in self.clients:
             client.done.add_callback(one_done)
+        self._all_done = all_done
+        self._max_time = max_time
+        self._deadline = None
+        if self.clients:
+            self._deadline = self.engine.schedule(
+                max_time, all_done.fail,
+                RuntimeError(f"workload exceeded {max_time} simulated "
+                             "seconds"),
+            )
+
+    def run_shared_prefix(self, until: float) -> None:
+        """Stage 2 (optional): run the policy-independent prefix.
+
+        Executes events strictly before *until* (or until the workload
+        completes, whichever is first).  Must only be called with *until*
+        at or before the first policy-divergent event -- for stock
+        workloads that is the first heartbeat metaload snapshot at
+        ``config.heartbeat_interval`` (see Workload.shared_prefix_end).
+        """
+        if until <= 0:
+            return
+        with _gc_paused():
+            self.engine.run_before(until, completion=self._all_done)
+
+    def finish_workload(self) -> SimReport:
+        """Final stage: run the (remaining) workload, return the report."""
+        all_done = self._all_done
         with _gc_paused():
             if not self.clients:
-                self.engine.run_until(max_time)
+                self.engine.run_until(self._max_time)
             else:
-                deadline = self.engine.schedule(
-                    max_time, all_done.fail,
-                    RuntimeError(f"workload exceeded {max_time} simulated "
-                                 "seconds"),
-                )
                 self.engine.run_until_complete(
                     all_done, max_events=self.config.max_events
                 )
-                deadline.cancel()
+                self._deadline.cancel()
         return self._report()
 
     def run_for(self, duration: float) -> SimReport:

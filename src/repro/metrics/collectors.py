@@ -62,6 +62,24 @@ class Timeline:
         self._counts[rank][int(now / self.bucket)] += amount
         self.end_time = max(self.end_time, now)
 
+    # The nested defaultdict uses a lambda factory, which pickle rejects;
+    # timelines must cross process/cache boundaries (forked harness cells,
+    # cached SimReports), so (de)hydrate through plain dicts.
+    def __getstate__(self) -> dict:
+        return {
+            "bucket": self.bucket,
+            "end_time": self.end_time,
+            "counts": {rank: dict(buckets)
+                       for rank, buckets in self._counts.items()},
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.bucket = state["bucket"]
+        self.end_time = state["end_time"]
+        self._counts = defaultdict(lambda: defaultdict(int))
+        for rank, buckets in state["counts"].items():
+            self._counts[rank].update(buckets)
+
     def series(self, rank: int, until: float | None = None) -> np.ndarray:
         """Requests/second for *rank*, one value per bucket."""
         horizon = until if until is not None else self.end_time

@@ -1,0 +1,154 @@
+"""Content-addressed result cache for experiment grids.
+
+Entries are keyed by :mod:`repro.perf.fingerprint` digests, so a hit is a
+proof that re-running the cell would reproduce the stored bytes: the key
+covers the simulator sources, interpreter/numpy versions, the resolved
+config, the policy *text* and the seed.  Editing any of those -- including
+one Lua line inside a policy -- changes the key and forces a cold run.
+
+Storage is one file per entry under a flat directory (default
+``~/.cache/mantle-sim``, override with ``REPRO_CACHE_DIR``):
+
+* ``<key>.json``  -- sweep cell records (plain data; floats round-trip
+  exactly through ``repr``-based JSON, and ``per_mds_ops`` integer keys
+  are restored on load);
+* ``<key>.pkl``   -- pickled :class:`~repro.cluster.SimReport` objects
+  for the benchmark harness.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed run
+can never leave a torn entry, and concurrent sweeps at worst both compute
+the same cell and race to an identical ``replace``.
+
+``REPRO_NO_CACHE=1`` (or ``--no-cache`` on the CLI) disables lookups and
+stores entirely; ``mantle-sim cache stats|clear`` inspects and resets the
+store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_DISABLE = "REPRO_NO_CACHE"
+
+
+def cache_disabled() -> bool:
+    """True when the environment asks for cold runs (REPRO_NO_CACHE=1)."""
+    return os.environ.get(_ENV_DISABLE, "") == "1"
+
+
+def default_cache_dir() -> Path:
+    override = os.environ.get(_ENV_DIR, "")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "mantle-sim"
+
+
+class ResultCache:
+    """A flat content-addressed store with session hit/miss counters."""
+
+    def __init__(self, root: Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # -- storage ---------------------------------------------------------
+    def _path(self, key: str, suffix: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache keys are hex digests, got {key!r}")
+        return self.root / f"{key}{suffix}"
+
+    def _store(self, path: Path, data: bytes) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _load(self, path: Path) -> bytes | None:
+        try:
+            data = path.read_bytes()
+        except (FileNotFoundError, OSError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data
+
+    # -- JSON records (sweep cells) --------------------------------------
+    def get_record(self, key: str) -> dict[str, Any] | None:
+        data = self._load(self._path(key, ".json"))
+        if data is None:
+            return None
+        record = json.loads(data.decode())
+        # JSON stringifies dict keys; per_mds_ops is keyed by MDS rank.
+        if "per_mds_ops" in record:
+            record["per_mds_ops"] = {int(rank): ops for rank, ops
+                                     in record["per_mds_ops"].items()}
+        return record
+
+    def put_record(self, key: str, record: dict[str, Any]) -> None:
+        data = json.dumps(record, sort_keys=True).encode()
+        self._store(self._path(key, ".json"), data)
+
+    # -- pickled objects (harness SimReports) ----------------------------
+    def get_object(self, key: str) -> Any | None:
+        data = self._load(self._path(key, ".pkl"))
+        if data is None:
+            return None
+        return pickle.loads(data)
+
+    def put_object(self, key: str, value: Any) -> None:
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._store(self._path(key, ".pkl"), data)
+
+    # -- maintenance -----------------------------------------------------
+    def entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p for p in self.root.iterdir()
+                      if p.suffix in (".json", ".pkl"))
+
+    def stats(self) -> dict[str, Any]:
+        entries = self.entries()
+        return {
+            "dir": str(self.root),
+            "entries": len(entries),
+            "records": sum(1 for p in entries if p.suffix == ".json"),
+            "objects": sum(1 for p in entries if p.suffix == ".pkl"),
+            "bytes": sum(p.stat().st_size for p in entries),
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def open_cache(enabled: bool = True,
+               root: Path | None = None) -> ResultCache | None:
+    """The cache the CLI/harness should use, or None when disabled.
+
+    *enabled* is the caller-level switch (``--no-cache``); the
+    ``REPRO_NO_CACHE`` environment override wins regardless.
+    """
+    if not enabled or cache_disabled():
+        return None
+    return ResultCache(root)

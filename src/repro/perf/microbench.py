@@ -1,12 +1,17 @@
 """Microbenchmarks behind ``BENCH_sim.json``.
 
-Three numbers track the hot paths this repo optimizes:
+These numbers track the hot paths this repo optimizes:
 
 * ``events_per_sec`` -- raw engine throughput (schedule/pop/dispatch);
 * ``policy_ticks_per_sec`` -- full Mantle decision-chunk evaluations
   (paper Listing 1: when/where over per-MDS metrics);
 * ``fig8_small_wall_s`` / ``sim_ops_per_sec`` -- an end-to-end slice of
-  the Fig 8 grid (shared-directory creates under greedy spill).
+  the Fig 8 grid (shared-directory creates under greedy spill);
+* ``namespace_preps_per_sec`` / ``cluster_builds_per_sec`` /
+  ``workload_gen_ops_per_sec`` -- the construction-stage costs the
+  warm-start cell server amortizes across grid cells (namespace build +
+  workload prepare, cluster assembly around a prepared namespace, and
+  client op-stream generation).
 
 ``compare_benchmarks`` flags regressions beyond a tolerance so CI can fail
 on a slowdown without failing on machine-to-machine noise.
@@ -20,16 +25,17 @@ import time
 from pathlib import Path
 from typing import Any
 
-from ..cluster import run_experiment
+from ..cluster import SimulatedCluster, run_experiment
 from ..config import ClusterConfig
 from ..core.environment import build_decision_bindings
 from ..core.policies import STOCK_POLICIES
 from ..sim.engine import SimEngine
-from ..workloads import CreateWorkload
+from ..workloads import CreateWorkload, ZipfWorkload
 
 #: Throughput metrics (higher is better) checked by compare_benchmarks.
 THROUGHPUT_KEYS = ("events_per_sec", "policy_ticks_per_sec",
-                   "sim_ops_per_sec")
+                   "sim_ops_per_sec", "namespace_preps_per_sec",
+                   "cluster_builds_per_sec", "workload_gen_ops_per_sec")
 
 
 def bench_engine(num_events: int = 200_000) -> float:
@@ -91,6 +97,50 @@ def bench_fig8_small(scale: float = 1.0) -> dict[str, float]:
     }
 
 
+def bench_construction(scale: float = 1.0) -> dict[str, float]:
+    """Construction-stage throughput (what warm starts amortize).
+
+    Uses the zipf workload because its prepare() builds the whole file
+    population -- the heaviest construction stage any workload has.
+    """
+    files = max(500, int(4000 * scale))
+    config = ClusterConfig(num_mds=4, num_clients=4, seed=7,
+                           dir_split_size=max(500, files // 2))
+    workload = ZipfWorkload(num_clients=4, num_files=files,
+                            ops_per_client=files, seed=7)
+    rounds = max(3, int(10 * scale))
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        namespace = SimulatedCluster.build_namespace(config)
+        workload.prepare(namespace)
+    prep_elapsed = time.perf_counter() - start
+
+    # Cluster assembly is ~100x cheaper than a namespace prep; give it
+    # enough rounds that the measurement is not dominated by jitter.
+    build_rounds = rounds * 20
+    start = time.perf_counter()
+    for _ in range(build_rounds):
+        SimulatedCluster(config, namespace=namespace)
+    build_elapsed = time.perf_counter() - start
+
+    generated = 0
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for client_id in range(workload.num_clients):
+            generated += sum(1 for _op in workload.client_ops(client_id))
+    gen_elapsed = time.perf_counter() - start
+
+    return {
+        "namespace_preps_per_sec": rounds / prep_elapsed
+        if prep_elapsed > 0 else float("inf"),
+        "cluster_builds_per_sec": build_rounds / build_elapsed
+        if build_elapsed > 0 else float("inf"),
+        "workload_gen_ops_per_sec": generated / gen_elapsed
+        if gen_elapsed > 0 else float("inf"),
+    }
+
+
 def collect_benchmarks(scale: float = 1.0) -> dict[str, Any]:
     """Run the whole suite once; returns the BENCH_sim.json payload."""
     results: dict[str, Any] = {
@@ -99,6 +149,7 @@ def collect_benchmarks(scale: float = 1.0) -> dict[str, Any]:
             max(200, int(2_000 * scale))),
     }
     results.update(bench_fig8_small(scale))
+    results.update(bench_construction(scale))
     results["meta"] = {
         "python": platform.python_version(),
         "machine": platform.machine(),

@@ -82,16 +82,12 @@ def _build_workload(spec: RunSpec):
     raise ValueError(f"unknown workload {spec.workload!r}")
 
 
-def execute_spec(spec: RunSpec) -> dict[str, Any]:
-    """Run one cell; return a plain-data record (picklable, orderable)."""
-    config = ClusterConfig(num_mds=spec.num_mds,
-                           num_clients=spec.num_clients,
-                           seed=spec.seed,
-                           dir_split_size=spec.dir_split_size)
-    policy = (STOCK_POLICIES[spec.policy]()
-              if spec.policy != "none" else None)
-    report = run_experiment(config, _build_workload(spec), policy=policy,
-                            max_time=spec.max_time)
+def spec_record(spec: RunSpec, report) -> dict[str, Any]:
+    """The plain-data record of one cell (picklable, JSON-able).
+
+    Shared by the cold and warm-start paths so both produce records that
+    compare (and serialize) byte-identically.
+    """
     latency = report.latency_summary()
     return {
         "seed": spec.seed,
@@ -109,18 +105,66 @@ def execute_spec(spec: RunSpec) -> dict[str, Any]:
     }
 
 
-def run_sweep(specs: list[RunSpec],
-              jobs: int = 1) -> list[dict[str, Any]]:
+def execute_spec(spec: RunSpec) -> dict[str, Any]:
+    """Run one cell cold; return its record."""
+    config = ClusterConfig(num_mds=spec.num_mds,
+                           num_clients=spec.num_clients,
+                           seed=spec.seed,
+                           dir_split_size=spec.dir_split_size)
+    policy = (STOCK_POLICIES[spec.policy]()
+              if spec.policy != "none" else None)
+    report = run_experiment(config, _build_workload(spec), policy=policy,
+                            max_time=spec.max_time)
+    return spec_record(spec, report)
+
+
+def run_sweep(specs: list[RunSpec], jobs: int = 1,
+              warm: bool = False) -> list[dict[str, Any]]:
     """Run all cells; results come back in spec order regardless of *jobs*.
 
     ``jobs <= 1`` runs serially in-process.  More jobs fan the cells over a
     ``multiprocessing`` pool; ``Pool.map`` already returns results in input
     order, so the merge is deterministic by construction.
+
+    ``warm=True`` routes the grid through the fork-based warm-start cell
+    server (:mod:`repro.perf.warmstart`): cells share namespace
+    construction and the policy-independent simulation prefix, with
+    byte-identical records.  Falls back to the cold path where ``os.fork``
+    is unavailable or the grid has a single cell.
     """
+    if warm and len(specs) > 1:
+        from .warmstart import fork_supported, run_sweep_forked
+        if fork_supported():
+            return run_sweep_forked(specs, jobs=jobs)
     if jobs <= 1 or len(specs) <= 1:
         return [execute_spec(spec) for spec in specs]
     with multiprocessing.Pool(processes=min(jobs, len(specs))) as pool:
         return pool.map(execute_spec, specs)
+
+
+def run_sweep_cached(specs: list[RunSpec], jobs: int = 1,
+                     warm: bool = False, cache=None
+                     ) -> tuple[list[dict[str, Any]], int, int]:
+    """``run_sweep`` behind the content-addressed result cache.
+
+    Returns ``(records, hits, misses)``.  Cells whose fingerprint (sources
+    + config + policy text + seed, see :mod:`repro.perf.fingerprint`) has
+    a stored record skip simulation entirely; the rest run through
+    ``run_sweep`` (warm or cold) and are stored for next time.  With
+    *cache* None (disabled) every cell is a miss and nothing is stored.
+    """
+    if cache is None:
+        return run_sweep(specs, jobs=jobs, warm=warm), 0, len(specs)
+    from .fingerprint import spec_fingerprint
+    keys = [spec_fingerprint(spec) for spec in specs]
+    records: list[dict[str, Any] | None] = [cache.get_record(key)
+                                            for key in keys]
+    missing = [i for i, record in enumerate(records) if record is None]
+    fresh = run_sweep([specs[i] for i in missing], jobs=jobs, warm=warm)
+    for i, record in zip(missing, fresh):
+        cache.put_record(keys[i], record)
+        records[i] = record
+    return records, len(specs) - len(missing), len(missing)
 
 
 def format_report(records: list[dict[str, Any]]) -> str:

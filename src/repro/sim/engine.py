@@ -380,6 +380,36 @@ class SimEngine:
             handle.fn(*handle.args)
         self.now = max(self.now, time)
 
+    def run_before(self, time: float,
+                   completion: Optional[Completion] = None) -> None:
+        """Run all events with timestamp strictly < *time* (a fork barrier).
+
+        Unlike :meth:`run_until` this never executes an event *at* *time*
+        and never advances the clock past the last executed event, so a
+        run split as ``run_before(t)`` + ``run_until_complete(done)``
+        executes exactly the same event sequence as an unsplit
+        ``run_until_complete(done)`` -- the property the warm-start fork
+        point relies on.  When *completion* is given the loop also stops
+        as soon as it fires (matching ``run_until_complete``, which stops
+        mid-heap when its completion is done).
+        """
+        heap = self._heap
+        while heap:
+            if completion is not None and completion._done:
+                return
+            entry = heap[0]
+            handle = entry[2]
+            if handle.cancelled:
+                heappop(heap)
+                continue
+            when = entry[0]
+            if when >= time:
+                return
+            heappop(heap)
+            self.now = when
+            self._executed += 1
+            handle.fn(*handle.args)
+
     def run(self, max_events: int | None = None) -> None:
         """Run until the heap drains (or *max_events* fire)."""
         count = 0

@@ -1,0 +1,140 @@
+"""The warm-start fork barrier: ``run_before`` and RNG state capture.
+
+``run_before(t)`` executes exactly the events a full run would execute
+before *t* -- same order, same clock -- and leaves the heap intact so a
+subsequent ``run``/``run_until_complete`` finishes the identical
+sequence.  That split is what lets forked cells share a prefix without
+changing a single event.
+"""
+
+import pytest
+
+from repro.sim.engine import Completion, SimEngine
+from repro.sim.rng import RngStreams
+
+
+class TestRunBefore:
+    def test_splits_exactly_at_the_barrier(self):
+        engine = SimEngine()
+        fired = []
+        for when in (1.0, 2.0, 5.0, 9.999, 10.0, 10.5):
+            engine.schedule(when, fired.append, when)
+        engine.run_before(10.0)
+        assert fired == [1.0, 2.0, 5.0, 9.999]
+        assert engine.now == 9.999
+        engine.run()
+        assert fired == [1.0, 2.0, 5.0, 9.999, 10.0, 10.5]
+
+    def test_split_run_matches_unsplit_run(self):
+        def build():
+            engine = SimEngine()
+            fired = []
+
+            def chain(n):
+                fired.append((engine.now, n))
+                if n:
+                    engine.schedule(1.5, chain, n - 1)
+
+            engine.schedule(0.5, chain, 12)
+            return engine, fired
+
+        whole_engine, whole = build()
+        whole_engine.run()
+        split_engine, split = build()
+        split_engine.run_before(10.0)
+        split_engine.run()
+        assert split == whole
+
+    def test_ties_at_barrier_stay_after_it(self):
+        engine = SimEngine()
+        fired = []
+        engine.schedule(10.0, fired.append, "a")
+        engine.schedule(10.0, fired.append, "b")
+        engine.run_before(10.0)
+        assert fired == []
+        engine.run()
+        assert fired == ["a", "b"]
+
+    def test_stops_when_completion_fires_early(self):
+        # run_until_complete stops mid-heap the instant the workload
+        # completion fires; run_before must do the same or warm runs
+        # would execute leftover events a cold run never ran.
+        engine = SimEngine()
+        done = Completion(engine)
+        fired = []
+        engine.schedule(1.0, fired.append, 1.0)
+        engine.schedule(2.0, done.succeed)
+        engine.schedule(3.0, fired.append, 3.0)
+        engine.run_before(10.0, completion=done)
+        assert fired == [1.0]
+
+    def test_cancelled_events_are_skipped(self):
+        engine = SimEngine()
+        fired = []
+        handle = engine.schedule(1.0, fired.append, "cancelled")
+        engine.schedule(2.0, fired.append, "kept")
+        handle.cancel()
+        engine.run_before(5.0)
+        assert fired == ["kept"]
+
+
+class TestRngStateCapture:
+    def test_state_round_trip_replays_identical_draws(self):
+        streams = RngStreams(seed=42)
+        source = streams.stream("service")
+        source.normal(size=4)
+        snapshot = streams.state()
+        first = source.normal(size=8).tolist()
+        streams.set_state(snapshot)
+        assert streams.stream("service").normal(size=8).tolist() == first
+
+    def test_state_restores_into_fresh_streams(self):
+        streams = RngStreams(seed=42)
+        streams.stream("a").random(3)
+        other = RngStreams(seed=999)
+        other.set_state(streams.state())
+        assert other.stream("a").random(5).tolist() \
+            == streams.stream("a").random(5).tolist()
+
+    def test_fingerprint_tracks_consumption(self):
+        streams = RngStreams(seed=7)
+        streams.stream("x")
+        before = streams.state_fingerprint()
+        assert before == streams.state_fingerprint()
+        streams.stream("x").random()
+        assert streams.state_fingerprint() != before
+
+
+class TestTimelinePickle:
+    def test_round_trip_preserves_series(self):
+        # SimReports cross pipe/cache boundaries; the timeline's nested
+        # defaultdicts must survive pickling.
+        import pickle
+
+        from repro.metrics.collectors import Timeline
+        timeline = Timeline(bucket=1.0)
+        timeline.record(0, 0.4)
+        timeline.record(0, 3.2, amount=5)
+        timeline.record(1, 2.8)
+        clone = pickle.loads(pickle.dumps(timeline))
+        assert clone.ranks() == timeline.ranks()
+        for rank in timeline.ranks():
+            assert clone.series(rank).tolist() \
+                == timeline.series(rank).tolist()
+        # The restored defaultdicts still accept new records.
+        clone.record(2, 9.9)
+        assert clone.ranks() == [0, 1, 2]
+
+
+@pytest.mark.parametrize("workload_name", ["create", "zipf"])
+def test_shared_prefix_end_is_the_first_heartbeat(workload_name):
+    from repro.config import ClusterConfig
+    from repro.workloads import CreateWorkload, ZipfWorkload
+    config = ClusterConfig(num_mds=2, num_clients=2, seed=1)
+    if workload_name == "create":
+        workload = CreateWorkload(num_clients=2, files_per_client=10)
+    else:
+        workload = ZipfWorkload(num_clients=2, num_files=10,
+                                ops_per_client=10)
+    assert workload.shared_prefix_end(config) \
+        == pytest.approx(config.heartbeat_interval)
