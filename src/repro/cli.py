@@ -7,7 +7,11 @@ against the simulated cluster:
 * ``mantle-sim show <policy>`` — print a policy as a ``.lua`` policy file;
 * ``mantle-sim validate <policy-or-file>`` — pre-injection validation
   (paper §4.4's "simulator that checks the logic before injecting");
-* ``mantle-sim run ...`` — run a workload under a policy and report.
+* ``mantle-sim run ...`` — run a workload under a policy and report;
+* ``mantle-sim inspect ...`` — same run, post-hoc behaviour analysis
+  (migration cadence, thrash, guard vetoes, rollout events);
+* ``mantle-sim store log|show|diff FILE ...`` — browse a versioned
+  policy-store dump (``run --store-dump``, see docs/LIFECYCLE.md).
 """
 
 from __future__ import annotations
@@ -94,7 +98,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     return _cmd_run_inner(args)
 
 
-def _cmd_run_inner(args: argparse.Namespace) -> int:
+def _execute_run(args: argparse.Namespace):
+    """Build, arm and run one cluster from ``run``-style arguments.
+
+    Shared by ``run`` and ``inspect`` so both observe the exact same
+    simulation.  Returns ``(cluster, report)``, or ``None`` after printing
+    a diagnostic when the arguments describe an unrunnable simulation.
+    """
     policy = _resolve_policy(args.policy)
     if policy is not None:
         report = validate_policy(policy)
@@ -102,7 +112,7 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
             print("refusing to inject an invalid policy:", file=sys.stderr)
             for problem in report.problems:
                 print(f"  {problem}", file=sys.stderr)
-            return 1
+            return None
     schedule = None
     if args.faults:
         try:
@@ -111,21 +121,45 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"bad fault schedule {args.faults!r}: {exc}",
                   file=sys.stderr)
-            return 1
+            return None
     config = ClusterConfig(
         num_mds=args.mds,
         num_clients=args.clients,
         seed=args.seed,
         dir_split_size=args.split_size,
         client_think_time=args.think,
+        stability_guard=args.guard,
     )
     cluster = SimulatedCluster(config, policy=policy,
                                fault_schedule=schedule)
+    # Shadow and canary candidates are deliberately *not* validated:
+    # the lifecycle machinery exists so a bad candidate cannot hurt the
+    # run (the breaker, guard and rollback contain it).
+    shadow = _resolve_policy(args.shadow)
+    if shadow is not None:
+        if policy is None:
+            raise SystemExit("--shadow needs a live --policy to shadow")
+        cluster.arm_shadow(shadow)
+    canary = _resolve_policy(args.canary)
+    if canary is not None:
+        if policy is None:
+            raise SystemExit(
+                "--canary needs a live --policy to fall back to")
+        cluster.arm_canary(canary, rank=args.canary_rank,
+                           at=args.canary_at, window=args.canary_window)
     workload = _build_workload(args)
     result = cluster.run_workload(workload)
     if schedule is not None:
         cluster.quiesce()
         result = cluster._report()
+    return cluster, result
+
+
+def _cmd_run_inner(args: argparse.Namespace) -> int:
+    outcome = _execute_run(args)
+    if outcome is None:
+        return 1
+    cluster, result = outcome
     print(result.summary_line())
     latency = result.latency_summary()
     print(f"latency: mean={latency.mean * 1e3:.3f}ms "
@@ -137,6 +171,20 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
             print(f"fault: t={event.time:8.2f}s {event.kind} {where}{detail}")
         for rank, seconds in sorted(result.recovery_times().items()):
             print(f"recovery: mds{rank} back after {seconds:.2f}s")
+    for event in result.lifecycle_events:
+        if event.kind == "policy-commit":
+            continue
+        who = f"mds{event.rank}" if event.rank >= 0 else "cluster"
+        print(f"lifecycle: t={event.time:8.2f}s {event.kind} "
+              f"{who}: {event.detail}")
+    if result.shadow_summary is not None:
+        shadow = result.shadow_summary
+        print(f"shadow: '{shadow['policy']}' evaluated "
+              f"{shadow['evaluated']}/{shadow['ticks']} ticks, "
+              f"would_migrate={shadow['would_migrate']} "
+              f"(live {shadow['live_migrated']}), "
+              f"divergences={shadow['divergences']}, "
+              f"errors={shadow['errors']}")
     if args.decisions:
         for decision in result.decisions:
             if decision.exports or decision.error:
@@ -144,7 +192,62 @@ def _cmd_run_inner(args: argparse.Namespace) -> int:
                       f"targets={decision.targets} error={decision.error}")
                 for path, load, target in decision.exports:
                     print(f"    {path} (load {load:.1f}) -> mds{target}")
+    if args.store_dump:
+        Path(args.store_dump).write_text(cluster.policy_store.to_json())
+        print(f"policy store dumped to {args.store_dump}", file=sys.stderr)
     return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from .core.inspector import summarize_behaviour
+    outcome = _execute_run(args)
+    if outcome is None:
+        return 1
+    _cluster, result = outcome
+    print(summarize_behaviour(result))
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    import difflib
+
+    from .lifecycle import PolicyStore
+    try:
+        store = PolicyStore.from_json(Path(args.file).read_text())
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"bad store dump {args.file!r}: {exc}")
+    versions = {version.version: version for version in store.log()}
+
+    def pick(number: int):
+        if number not in versions:
+            known = ", ".join(str(v) for v in sorted(versions))
+            raise SystemExit(
+                f"no version {number} in {args.file} (have: {known})")
+        return versions[number]
+
+    if args.action == "log":
+        for version in store.log():
+            note = f"  ({version.note})" if version.note else ""
+            print(f"v{version.version}  '{version.name}'  "
+                  f"@ {version.time:.1f}s{note}")
+        return 0
+    if args.action == "show":
+        if len(args.versions) != 1:
+            raise SystemExit("store show needs exactly one version number")
+        sys.stdout.write(pick(args.versions[0]).source)
+        return 0
+    if args.action == "diff":
+        if len(args.versions) != 2:
+            raise SystemExit("store diff needs exactly two version numbers")
+        old, new = (pick(number) for number in args.versions)
+        sys.stdout.writelines(difflib.unified_diff(
+            old.source.splitlines(keepends=True),
+            new.source.splitlines(keepends=True),
+            fromfile=f"v{old.version} ({old.name})",
+            tofile=f"v{new.version} ({new.name})",
+        ))
+        return 0
+    raise SystemExit(f"unknown store action {args.action!r}")
 
 
 def _parse_seeds(text: str) -> list[int]:
@@ -157,7 +260,8 @@ def _parse_seeds(text: str) -> list[int]:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     from .perf.cache import open_cache
-    from .perf.sweep import build_specs, format_report, run_sweep_cached
+    from .perf.sweep import (build_specs, format_report, normalize_policy,
+                             run_sweep_cached)
     seeds = _parse_seeds(args.seeds)
     policies = [part.strip() for part in args.policies.split(",")
                 if part.strip()]
@@ -170,6 +274,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             files_per_client=args.files,
             ops_per_client=args.ops,
             dir_split_size=args.split_size,
+            guard=args.guard,
+            shadow_policy=normalize_policy(args.shadow),
+            canary_policy=normalize_policy(args.canary),
+            canary_at=args.canary_at,
+            canary_window=args.canary_window,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -257,36 +366,79 @@ def build_parser() -> argparse.ArgumentParser:
                           help="ranks in the dry-run cluster")
     validate.set_defaults(func=cmd_validate)
 
+    def add_run_arguments(command: argparse.ArgumentParser) -> None:
+        """Simulation arguments shared by ``run`` and ``inspect``."""
+        command.add_argument("--policy", default="none",
+                             help="stock name, .lua file, or 'none'")
+        command.add_argument("--workload", default="create",
+                             choices=("create", "compile", "zipf"))
+        command.add_argument("--mds", type=int, default=2)
+        command.add_argument("--clients", type=int, default=4)
+        command.add_argument("--files", type=int, default=20_000,
+                             help="files per client (create) / "
+                                  "population (zipf)")
+        command.add_argument("--ops", type=int, default=20_000,
+                             help="ops per client (zipf)")
+        command.add_argument("--scale", type=float, default=5.0,
+                             help="source-tree scale (compile)")
+        command.add_argument("--shared", action="store_true",
+                             help="create into one shared directory")
+        command.add_argument("--split-size", type=int, default=10_000,
+                             help="directory fragmentation threshold")
+        command.add_argument("--think", type=float, default=0.0,
+                             help="client think time between ops, seconds")
+        command.add_argument("--seed", type=int, default=7)
+        command.add_argument("--faults", default=None, metavar="FILE",
+                             help="JSON fault schedule to inject "
+                                  "(see docs/FAULTS.md)")
+        command.add_argument("--shadow", default="none", metavar="POLICY",
+                             help="dry-run this policy beside the live one "
+                                  "on every tick, never applying its "
+                                  "decisions (see docs/LIFECYCLE.md)")
+        command.add_argument("--canary", default="none", metavar="POLICY",
+                             help="stage this policy on one rank; promote "
+                                  "to all ranks after a healthy window or "
+                                  "auto-roll-back")
+        command.add_argument("--canary-rank", type=int, default=None,
+                             metavar="N",
+                             help="canary rank (default: the highest)")
+        command.add_argument("--canary-at", type=float, default=30.0,
+                             metavar="T",
+                             help="when the canary swap happens, seconds")
+        command.add_argument("--canary-window", type=float, default=20.0,
+                             metavar="T",
+                             help="health-watch window length, seconds")
+        command.add_argument("--guard", action="store_true",
+                             help="enable the online stability guard "
+                                  "(ping-pong export veto)")
+
     run = sub.add_parser("run", help="run a workload under a policy")
-    run.add_argument("--policy", default="none",
-                     help="stock name, .lua file, or 'none'")
-    run.add_argument("--workload", default="create",
-                     choices=("create", "compile", "zipf"))
-    run.add_argument("--mds", type=int, default=2)
-    run.add_argument("--clients", type=int, default=4)
-    run.add_argument("--files", type=int, default=20_000,
-                     help="files per client (create) / population (zipf)")
-    run.add_argument("--ops", type=int, default=20_000,
-                     help="ops per client (zipf)")
-    run.add_argument("--scale", type=float, default=5.0,
-                     help="source-tree scale (compile)")
-    run.add_argument("--shared", action="store_true",
-                     help="create into one shared directory")
-    run.add_argument("--split-size", type=int, default=10_000,
-                     help="directory fragmentation threshold")
-    run.add_argument("--think", type=float, default=0.0,
-                     help="client think time between ops, seconds")
-    run.add_argument("--seed", type=int, default=7)
+    add_run_arguments(run)
     run.add_argument("--decisions", action="store_true",
                      help="print every balancing decision")
-    run.add_argument("--faults", default=None, metavar="FILE",
-                     help="JSON fault schedule to inject (see docs/FAULTS.md)")
+    run.add_argument("--store-dump", default=None, metavar="FILE",
+                     help="write the versioned policy store as JSON "
+                          "(browse with 'mantle-sim store')")
     run.add_argument("--profile", action="store_true",
                      help="cProfile the run; print top-25 cumulative "
                           "functions to stderr")
     run.add_argument("--profile-out", default=None, metavar="FILE",
                      help="also dump raw pstats data to FILE")
     run.set_defaults(func=cmd_run)
+
+    inspect = sub.add_parser(
+        "inspect", help="run a workload, then print the post-hoc "
+                        "behaviour analysis (cadence, thrash, lifecycle)")
+    add_run_arguments(inspect)
+    inspect.set_defaults(func=cmd_inspect)
+
+    store = sub.add_parser(
+        "store", help="browse a policy-store dump (run --store-dump)")
+    store.add_argument("action", choices=("log", "show", "diff"))
+    store.add_argument("file", help="JSON dump from 'run --store-dump'")
+    store.add_argument("versions", nargs="*", type=int,
+                       help="one version for 'show', two for 'diff'")
+    store.set_defaults(func=cmd_store)
 
     sweep = sub.add_parser(
         "sweep", help="fan seeds x policies over worker processes")
@@ -305,6 +457,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--ops", type=int, default=2000,
                        help="ops per client (zipf)")
     sweep.add_argument("--split-size", type=int, default=1000)
+    sweep.add_argument("--guard", action="store_true",
+                       help="enable the online stability guard in every cell")
+    sweep.add_argument("--shadow", default="none", metavar="POLICY",
+                       help="shadow-evaluate this stock policy in every cell")
+    sweep.add_argument("--canary", default="none", metavar="POLICY",
+                       help="canary this stock policy in every cell")
+    sweep.add_argument("--canary-at", type=float, default=30.0)
+    sweep.add_argument("--canary-window", type=float, default=20.0)
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes (1 = serial; output is "
                             "byte-identical either way)")

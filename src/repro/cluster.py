@@ -19,8 +19,10 @@ from .core.api import MantlePolicy
 from .core.balancer import BalanceDecision, MantleBalancer
 from .faults.injector import FaultInjector
 from .faults.schedule import FaultSchedule
+from .lifecycle import (CanaryController, PolicyStore, PolicyVersion,
+                        ShadowEvaluator, ShadowTick, StabilityGuard)
 from .mds.server import MdsServer
-from .metrics.collectors import ClusterMetrics, FaultRecord
+from .metrics.collectors import ClusterMetrics, FaultRecord, LifecycleRecord
 from .metrics.heatmap import HeatSampler
 from .metrics.stats import Summary, summarize
 from .namespace.tree import Namespace
@@ -46,6 +48,15 @@ class SimReport:
     fault_events: list[FaultRecord] = field(default_factory=list)
     #: True when the balancer's circuit breaker tripped during the run.
     policy_tripped: bool = False
+    #: Policy-lifecycle trace: breaker transitions, guard vetoes, canary
+    #: rollout events, version commits.
+    lifecycle_events: list[LifecycleRecord] = field(default_factory=list)
+    #: Version log of the RADOS-backed policy store.
+    policy_log: list[PolicyVersion] = field(default_factory=list)
+    #: Per-tick divergence log of an armed shadow policy (empty otherwise).
+    shadow_log: list[ShadowTick] = field(default_factory=list)
+    #: Aggregate shadow stats (None when no shadow was armed).
+    shadow_summary: Optional[dict] = None
 
     @property
     def throughput(self) -> float:
@@ -134,6 +145,15 @@ class SimReport:
                       f" mig_aborted={self.total_migrations_aborted}")
         if self.policy_tripped:
             faults += " policy=fallback"
+        if self.lifecycle_events:
+            kinds = [event.kind for event in self.lifecycle_events]
+            if "canary-promote" in kinds:
+                faults += " canary=promoted"
+            elif "canary-rollback" in kinds:
+                faults += " canary=rolled-back"
+            vetoes = kinds.count("guard-veto")
+            if vetoes:
+                faults += f" vetoes={vetoes}"
         return (
             f"[{self.policy_name}] makespan={self.makespan:.1f}s "
             f"ops={self.total_ops} tput={self.throughput:.0f}/s "
@@ -207,6 +227,22 @@ class SimulatedCluster:
         ]
         for mds in self.mdss:
             mds.peers = self.mdss
+        # Policy lifecycle: versioned store (RADOS-mirrored), optional
+        # online stability guard, shadow/canary slots.
+        self.policy_store = PolicyStore(self.rados)
+        self.guard: Optional[StabilityGuard] = None
+        if config.stability_guard:
+            self.guard = StabilityGuard(
+                window=config.guard_window,
+                max_bounces=config.guard_max_bounces,
+                events=self.metrics.record_lifecycle,
+            )
+        self.shadow: Optional[ShadowEvaluator] = None
+        self.canary: Optional[CanaryController] = None
+        #: Every balancer that ran during this simulation (the shared
+        #: primary, plus a canary's if one was armed) -- the report merges
+        #: their decision logs.
+        self.balancers: list[MantleBalancer] = []
         self.balancer: Optional[MantleBalancer] = None
         if policy is not None:
             self.set_policy(policy)
@@ -238,17 +274,67 @@ class SimulatedCluster:
         )
 
     # -- policy injection ---------------------------------------------------
-    def set_policy(self, policy: MantlePolicy) -> None:
-        """Inject a Mantle policy into every rank (``ceph tell mds.*``)."""
+    def set_policy(self, policy: MantlePolicy, note: str = "inject") -> None:
+        """Inject a Mantle policy into every rank (``ceph tell mds.*``).
+
+        Every injection is a recorded version transition in the policy
+        store, with the previous version retained for rollback.  The commit
+        is stamped at t=0.0 regardless of the engine clock: injection is
+        pre-run bookkeeping, and warm-started runs replay it at the fork
+        barrier rather than at construction time (see
+        :mod:`repro.lifecycle.store`).
+        """
         self.balancer = MantleBalancer(
-            policy, error_threshold=self.config.policy_error_threshold)
+            policy,
+            error_threshold=self.config.policy_error_threshold,
+            probation_ticks=self.config.policy_probation_ticks,
+            guard=self.guard,
+            events=self.metrics.record_lifecycle,
+        )
+        self.balancers = [self.balancer]
         for mds in self.mdss:
             mds.balancer = self.balancer
+        version = self.policy_store.commit(policy, 0.0, note=note)
+        self.metrics.record_lifecycle(
+            0.0, "policy-commit", -1,
+            f"v{version.version}: '{policy.name}' ({note})",
+        )
 
     def clear_policy(self) -> None:
         self.balancer = None
+        self.balancers = []
         for mds in self.mdss:
             mds.balancer = None
+
+    # -- lifecycle: shadow & canary -----------------------------------------
+    def arm_shadow(self, policy: MantlePolicy) -> ShadowEvaluator:
+        """Dry-run *policy* beside the live balancer on every tick.
+
+        The shadow sees the exact bindings the live policy decided on but
+        never applies its decisions; its divergence log lands in the
+        report's ``shadow_log``.
+        """
+        if self.balancer is None:
+            raise RuntimeError("inject a live policy before arming a shadow")
+        self.shadow = ShadowEvaluator(policy)
+        self.balancer.shadow = self.shadow
+        return self.shadow
+
+    def arm_canary(self, candidate: MantlePolicy,
+                   rank: Optional[int] = None,
+                   at: float = 30.0, window: float = 20.0,
+                   **health) -> CanaryController:
+        """Stage *candidate* on one rank at time *at*; after *window*
+        seconds of health it is promoted to all ranks, otherwise the canary
+        rank rolls back to the live policy (and the store to its prior
+        version).  *health* forwards to :class:`CanaryController` (e.g.
+        ``max_errors``, ``max_migrations``, ``latency_factor``)."""
+        controller = CanaryController(self, candidate, rank=rank,
+                                      at=at, window=window, **health)
+        self.canary = controller
+        self.mdss[controller.rank].lifecycle = controller
+        self.balancers.append(controller.balancer)
+        return controller
 
     # -- manual partitioning (for the Fig 3 forced-spread setups) ------------
     def pin(self, path: str, rank: int) -> None:
@@ -393,6 +479,22 @@ class SimulatedCluster:
             if self.engine.now >= deadline or not self.engine.step():
                 break
 
+    def _merged_decisions(self) -> list[BalanceDecision]:
+        """Decision log across all balancers that ran.
+
+        With a single balancer the list is returned as-is (the seed
+        behaviour); with a canary's second balancer the two logs interleave
+        sorted by tick time (ranks tick at distinct, offset times).
+        """
+        if not self.balancers:
+            return []
+        if len(self.balancers) == 1:
+            return list(self.balancers[0].decisions)
+        merged = [decision for balancer in self.balancers
+                  for decision in balancer.decisions]
+        merged.sort(key=lambda d: (d.time, d.rank))
+        return merged
+
     def _report(self) -> SimReport:
         if self.heat is not None:
             self.heat.stop()
@@ -404,12 +506,15 @@ class SimulatedCluster:
             total_ops=self.metrics.total_ops,
             client_runtimes=self.metrics.client_runtimes(),
             metrics=self.metrics,
-            decisions=(list(self.balancer.decisions)
-                       if self.balancer else []),
+            decisions=self._merged_decisions(),
             heat=self.heat,
             fault_events=list(self.metrics.fault_events),
             policy_tripped=(self.balancer.tripped
                             if self.balancer else False),
+            lifecycle_events=list(self.metrics.lifecycle_events),
+            policy_log=list(self.policy_store.log()),
+            shadow_log=(list(self.shadow.log) if self.shadow else []),
+            shadow_summary=(self.shadow.summary() if self.shadow else None),
         )
         report._sessions_opened = sum(
             mds.sessions.sessions_opened for mds in self.mdss

@@ -160,6 +160,22 @@ class ClusterConfig:
     #: Consecutive Lua errors before the balancer trips its circuit
     #: breaker and falls back to the built-in original balancer.
     policy_error_threshold: int = 3
+    #: Half-open recovery: after this many consecutive clean fallback
+    #: ticks, a tripped balancer re-tries the injected policy once on
+    #: probation.  A clean probation tick closes the breaker; a failing
+    #: one trips it permanently.  0 disables recovery (trip forever).
+    policy_probation_ticks: int = 6
+
+    # Policy lifecycle (shadow / canary / stability guard).
+    #: Run the online StabilityGuard: re-exports of a subtree that bounced
+    #: between ranks too often inside the guard window are vetoed before
+    #: they reach the migrator (live ping-pong damping).
+    stability_guard: bool = False
+    #: Sliding window (seconds) over which the guard remembers moves.
+    guard_window: float = 60.0
+    #: Veto a re-export once the unit's reversal count inside the window
+    #: (including the proposed move) reaches this many bounces.
+    guard_max_bounces: int = 2
 
     # Safety valve for run loops.
     max_events: int = 200_000_000
@@ -187,3 +203,9 @@ class ClusterConfig:
             raise ValueError("replay_segment_window cannot be negative")
         if self.policy_error_threshold < 1:
             raise ValueError("policy_error_threshold must be >= 1")
+        if self.policy_probation_ticks < 0:
+            raise ValueError("policy_probation_ticks cannot be negative")
+        if self.guard_window <= 0:
+            raise ValueError("guard_window must be positive")
+        if self.guard_max_bounces < 1:
+            raise ValueError("guard_max_bounces must be >= 1")

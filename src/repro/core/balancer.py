@@ -18,7 +18,7 @@ for.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from .. import fastpath
 from ..luapolicy.errors import LuaError
@@ -46,6 +46,11 @@ class BalanceDecision:
     skipped: Optional[str] = None
     #: True when this tick ran on the fallback (circuit-breaker) policy.
     fallback: bool = False
+    #: True when this tick re-tried the injected policy on probation
+    #: (half-open breaker).
+    probation: bool = False
+    #: Exports vetoed by the stability guard: ``(path, target_rank)``.
+    vetoes: list[tuple[str, int]] = field(default_factory=list)
 
 
 class MantleBalancer:
@@ -57,11 +62,31 @@ class MantleBalancer:
     silently idling forever -- the cluster keeps balancing even when the
     injected policy is garbage.  A clean tick before the threshold resets
     the counter.
+
+    The breaker is *half-open*: with ``probation_ticks > 0``, after that
+    many consecutive clean (non-skipped) fallback ticks the balancer
+    re-tries the injected policy once on probation.  A clean probation
+    tick closes the breaker; a second failure trips it permanently.
+    States: ``closed -> open -> probation -> closed | permanent``.
+
+    Optional lifecycle collaborators:
+
+    * ``guard`` -- a :class:`repro.lifecycle.StabilityGuard` consulted
+      before every export (live ping-pong damping);
+    * ``shadow`` -- a :class:`repro.lifecycle.ShadowEvaluator` fed each
+      tick's exact binding inputs, never affecting decisions;
+    * ``events`` -- ``(time, kind, rank, detail)`` sink for breaker
+      transitions, normally :meth:`ClusterMetrics.record_lifecycle`.
     """
 
     def __init__(self, policy: MantlePolicy,
                  state: BalancerState | None = None,
-                 error_threshold: int = 3) -> None:
+                 error_threshold: int = 3,
+                 probation_ticks: int = 0,
+                 guard=None,
+                 shadow=None,
+                 events: Optional[Callable[[float, str, int, str], None]]
+                 = None) -> None:
         policy.compile_all()
         self.policy = policy
         self.state = state or BalancerState()
@@ -70,9 +95,16 @@ class MantleBalancer:
         self.decisions: list[BalanceDecision] = []
         self.errors = 0
         self.error_threshold = error_threshold
+        self.probation_ticks = probation_ticks
         self.consecutive_errors = 0
-        self.tripped = False
+        #: Breaker state: closed | open | probation | permanent.
+        self.breaker = "closed"
+        self._clean_fallback_ticks = 0
+        self.guard = guard
+        self.shadow = shadow
+        self.events = events
         self._active = policy
+        self._tick_inputs = None
         # Per-tick metaload memos.  Within one tick `now` is fixed and the
         # first counter snapshot decays the counters in place, so repeated
         # evaluations return bit-identical values -- caching them skips
@@ -81,67 +113,124 @@ class MantleBalancer:
         self._unit_load_memo: dict[int, float] = {}
 
     # -- circuit breaker ------------------------------------------------
+    @property
+    def tripped(self) -> bool:
+        """Is the fallback policy in charge right now?"""
+        return self.breaker in ("open", "permanent")
+
     def active_policy(self) -> MantlePolicy:
         """The policy actually in charge (the fallback once tripped)."""
         return self._active
 
-    def _record_error(self) -> None:
-        self.errors += 1
-        self.consecutive_errors += 1
-        if (not self.tripped
-                and self.consecutive_errors >= self.error_threshold):
-            self._trip()
+    def _emit(self, now: float, kind: str, rank: int, detail: str) -> None:
+        if self.events is not None:
+            self.events(now, kind, rank, detail)
 
-    def _trip(self) -> None:
+    def _record_error(self, now: float, rank: int) -> None:
+        self.errors += 1
+        if self.breaker == "probation":
+            self._trip(now, rank, permanent=True)
+            return
+        self.consecutive_errors += 1
+        if (self.breaker == "closed"
+                and self.consecutive_errors >= self.error_threshold):
+            self._trip(now, rank)
+
+    def _trip(self, now: float, rank: int, permanent: bool = False) -> None:
         # Imported lazily: policies -> balancer would be a cycle.
         from .policies.original import original_policy
         fallback = original_policy()
         fallback.compile_all()
-        self.tripped = True
+        self.breaker = "permanent" if permanent else "open"
+        self._clean_fallback_ticks = 0
         self._active = fallback
         self.metaload_fn = fallback.metaload_fn()
         self.mdsload_fn = fallback.mdsload_fn()
+        if permanent:
+            self._emit(now, "breaker-permanent", rank,
+                       f"policy '{self.policy.name}' failed probation; "
+                       "fallback is permanent")
+        else:
+            self._emit(now, "breaker-open", rank,
+                       f"policy '{self.policy.name}' tripped after "
+                       f"{self.consecutive_errors} consecutive errors")
+
+    def _enter_probation(self, now: float, rank: int) -> None:
+        self.breaker = "probation"
+        self._active = self.policy
+        self.metaload_fn = self.policy.metaload_fn()
+        self.mdsload_fn = self.policy.mdsload_fn()
+        self._emit(now, "breaker-probation", rank,
+                   f"re-trying policy '{self.policy.name}' after "
+                   f"{self._clean_fallback_ticks} clean fallback ticks")
+
+    def _after_clean_tick(self, decision: BalanceDecision, now: float,
+                          rank: int) -> None:
+        """Bookkeeping for an error-free tick (possibly skipped)."""
+        if self.breaker == "closed":
+            self.consecutive_errors = 0
+        elif self.breaker == "open" and decision.skipped is None:
+            self._clean_fallback_ticks += 1
+        elif self.breaker == "probation" and decision.skipped is None:
+            self.breaker = "closed"
+            self.consecutive_errors = 0
+            self._emit(now, "breaker-close", rank,
+                       f"policy '{self.policy.name}' survived probation; "
+                       "breaker closed")
 
     # ------------------------------------------------------------------
     def tick(self, mds: "MdsServer") -> BalanceDecision:
         now = mds.engine.now
         self._dir_load_memo.clear()
         self._unit_load_memo.clear()
+        self._tick_inputs = None
+        if (self.breaker == "open" and self.probation_ticks > 0
+                and self._clean_fallback_ticks >= self.probation_ticks):
+            self._enter_probation(now, mds.rank)
         decision = BalanceDecision(time=now, rank=mds.rank, went=False,
-                                   fallback=self.tripped)
+                                   fallback=self.tripped,
+                                   probation=self.breaker == "probation")
         self.decisions.append(decision)
+        self._tick_inner(mds, decision)
+        if decision.error is None:
+            self._after_clean_tick(decision, now, mds.rank)
+        if self.shadow is not None:
+            self.shadow.observe(now, mds.rank, decision, self._tick_inputs)
+            self._tick_inputs = None
+        return decision
+
+    def _tick_inner(self, mds: "MdsServer",
+                    decision: BalanceDecision) -> None:
+        now = mds.engine.now
         num_ranks = len(mds.peers)
         if num_ranks < 2:
             decision.skipped = "single MDS"
-            return decision
+            return
         if mds.migrator.in_flight > 0:
             decision.skipped = "migration in flight"
-            return decision
+            return
         alive = set(mds.hb_table.alive_ranks(now, mds.beacon_grace))
         alive.add(mds.rank)
         missing = [rank for rank in range(num_ranks)
                    if rank not in alive and not mds.hb_table.is_down(rank)]
         if missing:
             decision.skipped = "heartbeats incomplete"
-            return decision
+            return
         if len(alive) < 2:
             decision.skipped = "no live peers"
-            return decision
+            return
 
         mds_metrics = self._score_ranks(mds, num_ranks, alive, decision)
         if mds_metrics is None:
-            return decision
+            return
 
         targets = self._run_decision(mds, mds_metrics, alive, decision)
-        if decision.error is None:
-            self.consecutive_errors = 0
         if not targets:
-            return decision
+            return
         decision.went = True
         decision.targets = dict(targets)
 
         self._ship(mds, targets, decision)
-        return decision
 
     # -- step 1: score all ranks ------------------------------------------
     def _score_ranks(self, mds: "MdsServer", num_ranks: int,
@@ -165,7 +254,7 @@ class MantleBalancer:
                 else:
                     metrics["load"] = 0.0
         except LuaError as exc:
-            self._record_error()
+            self._record_error(mds.engine.now, mds.rank)
             decision.error = f"mdsload: {exc}"
             return None
         return metrics_list
@@ -176,19 +265,30 @@ class MantleBalancer:
                       decision: BalanceDecision) -> dict[int, float]:
         now = mds.engine.now
         wrstate, rdstate = self.state.bound_functions(mds.rank)
+        # Snapshot once and share; within one tick `now` is fixed, so the
+        # repeated snapshots the old code took were bit-identical anyway.
+        local_counters = mds.all_load.snapshot(now)
+        auth_counters = mds.auth_load.snapshot(now)
+        all_counters = mds.all_load.snapshot(now)
+        if self.shadow is not None:
+            # Stash the *exact* inputs this tick decided on, so the shadow
+            # evaluates its candidate against identical bindings without
+            # touching (and re-decaying) any live counter.
+            self._tick_inputs = (mds_metrics, local_counters,
+                                 auth_counters, all_counters)
         bindings = build_decision_bindings(
             whoami=mds.rank,
             mds_metrics=mds_metrics,
-            local_counters=mds.all_load.snapshot(now),
-            auth_metaload=self.metaload_fn(mds.auth_load.snapshot(now)),
-            all_metaload=self.metaload_fn(mds.all_load.snapshot(now)),
+            local_counters=local_counters,
+            auth_metaload=self.metaload_fn(auth_counters),
+            all_metaload=self.metaload_fn(all_counters),
             wrstate=wrstate,
             rdstate=rdstate,
         )
         try:
             result = self._active.decision_chunk().run(bindings)
         except LuaError as exc:
-            self._record_error()
+            self._record_error(now, mds.rank)
             decision.error = f"decision: {exc}"
             return {}
         go = result.global_value("go")
@@ -214,7 +314,14 @@ class MantleBalancer:
                 continue
             units = self._partition_namespace(mds, target, now, taken)
             for unit, load in units:
-                decision.exports.append((unit.path(), load, rank))
+                path = unit.path()
+                if (self.guard is not None
+                        and not self.guard.allow(path, mds.rank, rank, now)):
+                    decision.vetoes.append((path, rank))
+                    continue
+                if self.guard is not None:
+                    self.guard.record(path, mds.rank, rank, now)
+                decision.exports.append((path, load, rank))
                 mds.migrator.export(unit, rank)
 
     def _partition_namespace(

@@ -179,4 +179,40 @@ def summarize_behaviour(report: "SimReport") -> str:
         f"{len(thrash.ping_pongs)} ping-pongs",
         f"final balance cv: {final_cv:.3f}",
     ]
+    lines.extend(lifecycle_lines(report))
     return "\n".join(lines)
+
+
+def lifecycle_lines(report: "SimReport") -> list[str]:
+    """Lifecycle trace lines (guard vetoes, breaker, rollout events).
+
+    Empty for runs with no lifecycle activity, so pre-lifecycle output is
+    unchanged.
+    """
+    events = getattr(report, "lifecycle_events", None) or []
+    # The version log is part of the lifecycle story too, but only worth
+    # printing once something beyond the initial injection happened.
+    interesting = [e for e in events if e.kind != "policy-commit"]
+    if not interesting:
+        return []
+    kinds = [event.kind for event in events]
+    vetoes = kinds.count("guard-veto")
+    lines = [
+        f"lifecycle: {len(interesting)} events "
+        f"({vetoes} guard vetoes)",
+    ]
+    for event in interesting:
+        who = "cluster" if event.rank < 0 else f"mds{event.rank}"
+        lines.append(
+            f"  {event.time:8.1f}s {event.kind:<18} {who}: {event.detail}"
+        )
+    log = getattr(report, "policy_log", None) or []
+    if len(log) > 1:
+        lines.append("policy versions:")
+        for version in log:
+            note = f" ({version.note})" if version.note else ""
+            lines.append(
+                f"  v{version.version} '{version.name}'"
+                f" @ {version.time:.1f}s{note}"
+            )
+    return lines

@@ -120,6 +120,7 @@ def dump_policy(policy: MantlePolicy) -> str:
         f"-- @name {policy.name}",
         f"-- @need_min {policy.need_min_factor}",
         f"-- @min_unit_load {policy.min_unit_load}",
+        f"-- @max_overshoot {policy.max_overshoot}",
         "-- @metaload",
         policy.metaload.strip(),
         "-- @mdsload",

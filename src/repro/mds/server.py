@@ -66,6 +66,9 @@ class MdsServer:
         self.hb_table = HeartbeatTable()
         self.peers: list["MdsServer"] = []  # set by the cluster assembly
         self.balancer: Optional["MantleBalancer"] = None
+        #: Policy-lifecycle hook (e.g. a CanaryController) driven from this
+        #: rank's heartbeat ticks; may swap ``self.balancer``.
+        self.lifecycle = None
         #: Decayed load this rank served as the authority ("auth") and
         #: touched at all, including forwards ("all") -- Table 2 metrics.
         self.auth_load = LoadCounters(half_life=config.decay_half_life)
@@ -544,6 +547,10 @@ class MdsServer:
         if not self.alive:
             return  # dead ranks do not beat (their silence IS the signal)
         now = self.engine.now
+        if self.lifecycle is not None:
+            # Before the metric snapshot: a balancer swap this tick must
+            # already shape this tick's metaload views.
+            self.lifecycle.on_heartbeat(self, now)
         self.hb_table.evict_stale(now, self.beacon_grace)
         beat = self._snapshot_metrics()
         self.hb_table.store(beat, now)

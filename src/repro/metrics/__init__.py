@@ -4,6 +4,7 @@ from .collectors import (
     ClusterMetrics,
     FaultRecord,
     LatencyRecorder,
+    LifecycleRecord,
     MdsMetrics,
     Timeline,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "FaultRecord",
     "HeatSampler",
     "LatencyRecorder",
+    "LifecycleRecord",
     "MdsMetrics",
     "Summary",
     "TraceEvent",

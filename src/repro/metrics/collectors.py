@@ -118,6 +118,28 @@ class LatencyRecorder:
     def record(self, client_id: int, latency: float) -> None:
         self._samples[client_id].append(latency)
 
+    # -- windowed views (for online health checks) ----------------------
+    def marks(self) -> dict[int, int]:
+        """Per-client sample counts right now -- a resumable cursor.
+
+        Samples arrive in simulation-event order per client, so a later
+        :meth:`since` with these marks returns exactly the samples recorded
+        after this call, deterministically.
+        """
+        return {client: len(samples)
+                for client, samples in self._samples.items()}
+
+    def since(self, marks: dict[int, int]) -> np.ndarray:
+        """All samples recorded after :meth:`marks` returned *marks*."""
+        chunks = [
+            np.asarray(samples[marks.get(client, 0):], dtype=float)
+            for client, samples in sorted(self._samples.items())
+        ]
+        chunks = [chunk for chunk in chunks if chunk.size]
+        if not chunks:
+            return np.zeros(0)
+        return np.concatenate(chunks)
+
     def client_latencies(self, client_id: int) -> np.ndarray:
         return np.asarray(self._samples.get(client_id, ()), dtype=float)
 
@@ -151,6 +173,21 @@ class FaultRecord:
     detail: str = ""
 
 
+@dataclass(frozen=True)
+class LifecycleRecord:
+    """One policy-lifecycle event (rollout, guard, breaker), for the trace.
+
+    Kinds: ``canary-start``, ``canary-promote``, ``canary-rollback``,
+    ``guard-veto``, ``breaker-open``, ``breaker-probation``,
+    ``breaker-close``, ``breaker-permanent``, ``policy-commit``.
+    """
+
+    time: float
+    kind: str
+    rank: int      # rank the event concerns; -1 for cluster-wide events
+    detail: str = ""
+
+
 @dataclass
 class ClusterMetrics:
     """Everything measured during one simulation run."""
@@ -161,11 +198,19 @@ class ClusterMetrics:
     client_finish_times: dict[int, float] = field(default_factory=dict)
     client_op_counts: dict[int, int] = field(default_factory=dict)
     fault_events: list[FaultRecord] = field(default_factory=list)
+    lifecycle_events: list[LifecycleRecord] = field(default_factory=list)
 
     def record_fault(self, time: float, kind: str, rank: int,
                      detail: str = "") -> FaultRecord:
         record = FaultRecord(time=time, kind=kind, rank=rank, detail=detail)
         self.fault_events.append(record)
+        return record
+
+    def record_lifecycle(self, time: float, kind: str, rank: int,
+                         detail: str = "") -> LifecycleRecord:
+        record = LifecycleRecord(time=time, kind=kind, rank=rank,
+                                 detail=detail)
+        self.lifecycle_events.append(record)
         return record
 
     def mds(self, rank: int) -> MdsMetrics:

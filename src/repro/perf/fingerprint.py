@@ -97,8 +97,20 @@ def experiment_fingerprint(kind: str, payload: dict[str, Any]) -> str:
 
 
 def spec_fingerprint(spec) -> str:
-    """Fingerprint one sweep cell (a ``RunSpec``)."""
+    """Fingerprint one sweep cell (a ``RunSpec``).
+
+    ``asdict`` already folds in every RunSpec field -- including the
+    lifecycle configuration (``guard``, ``shadow_policy``,
+    ``canary_policy``, ``canary_at``, ``canary_window``) -- so a guarded
+    run and an unguarded run can never alias.  The shadow/canary policy
+    *texts* are added on top for the same reason the live policy's is:
+    editing a policy's Lua behind an unchanged name must be a miss.
+    """
     from dataclasses import asdict
     payload = asdict(spec)
     payload["policy_text"] = policy_text(spec.policy)
+    payload["shadow_policy_text"] = policy_text(
+        getattr(spec, "shadow_policy", "none"))
+    payload["canary_policy_text"] = policy_text(
+        getattr(spec, "canary_policy", "none"))
     return experiment_fingerprint("sweep", payload)

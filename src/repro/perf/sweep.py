@@ -13,7 +13,7 @@ import multiprocessing
 from dataclasses import dataclass
 from typing import Any
 
-from ..cluster import run_experiment
+from ..cluster import SimulatedCluster
 from ..config import ClusterConfig
 from ..core.policies import STOCK_POLICIES
 from ..workloads import CreateWorkload, ZipfWorkload
@@ -60,6 +60,15 @@ class RunSpec:
     shared_dir: bool = True
     dir_split_size: int = 1000
     max_time: float = 36_000.0
+    heartbeat_interval: float = 10.0
+    # Policy lifecycle (see repro.lifecycle).  All of these change the
+    # run's behaviour and are therefore part of the cell's cache
+    # fingerprint (perf/fingerprint.py).
+    guard: bool = False
+    shadow_policy: str = "none"
+    canary_policy: str = "none"
+    canary_at: float = 30.0
+    canary_window: float = 20.0
 
 
 def build_specs(seeds: list[int], policies: list[str],
@@ -89,6 +98,12 @@ def spec_record(spec: RunSpec, report) -> dict[str, Any]:
     compare (and serialize) byte-identically.
     """
     latency = report.latency_summary()
+    canary_outcome = next(
+        (event.kind.split("-", 1)[1]
+         for event in reversed(report.lifecycle_events)
+         if event.kind in ("canary-promote", "canary-rollback")),
+        None,
+    )
     return {
         "seed": spec.seed,
         "policy": spec.policy,
@@ -102,7 +117,31 @@ def spec_record(spec: RunSpec, report) -> dict[str, Any]:
         "latency_p95": latency.p95,
         "latency_p99": latency.p99,
         "per_mds_ops": report.per_mds_ops(),
+        "lifecycle": [
+            [event.time, event.kind, event.rank, event.detail]
+            for event in report.lifecycle_events
+        ],
+        "guard_vetoes": sum(
+            1 for event in report.lifecycle_events
+            if event.kind == "guard-veto"
+        ),
+        "policy_versions": len(report.policy_log),
+        "canary": canary_outcome,
+        "shadow": report.shadow_summary,
     }
+
+
+def arm_lifecycle(cluster: SimulatedCluster, spec: RunSpec) -> None:
+    """Arm a spec's shadow/canary on a freshly built cluster.
+
+    Shared by the cold path and the warm-start path: both must arm from
+    the same data so their records stay byte-identical.
+    """
+    if spec.shadow_policy != "none":
+        cluster.arm_shadow(STOCK_POLICIES[spec.shadow_policy]())
+    if spec.canary_policy != "none":
+        cluster.arm_canary(STOCK_POLICIES[spec.canary_policy](),
+                           at=spec.canary_at, window=spec.canary_window)
 
 
 def execute_spec(spec: RunSpec) -> dict[str, Any]:
@@ -110,11 +149,15 @@ def execute_spec(spec: RunSpec) -> dict[str, Any]:
     config = ClusterConfig(num_mds=spec.num_mds,
                            num_clients=spec.num_clients,
                            seed=spec.seed,
-                           dir_split_size=spec.dir_split_size)
+                           dir_split_size=spec.dir_split_size,
+                           heartbeat_interval=spec.heartbeat_interval,
+                           stability_guard=spec.guard)
     policy = (STOCK_POLICIES[spec.policy]()
               if spec.policy != "none" else None)
-    report = run_experiment(config, _build_workload(spec), policy=policy,
-                            max_time=spec.max_time)
+    cluster = SimulatedCluster(config, policy=policy)
+    arm_lifecycle(cluster, spec)
+    report = cluster.run_workload(_build_workload(spec),
+                                  max_time=spec.max_time)
     return spec_record(spec, report)
 
 

@@ -250,7 +250,9 @@ def _spec_config(spec) -> ClusterConfig:
     return ClusterConfig(num_mds=spec.num_mds,
                          num_clients=spec.num_clients,
                          seed=spec.seed,
-                         dir_split_size=spec.dir_split_size)
+                         dir_split_size=spec.dir_split_size,
+                         heartbeat_interval=spec.heartbeat_interval,
+                         stability_guard=spec.guard)
 
 
 def sweep_plans(specs: list) -> list[CellPlan]:
@@ -270,7 +272,13 @@ def sweep_plans(specs: list) -> list[CellPlan]:
         plans.append(CellPlan(
             index=index,
             construction_key=construction_key,
-            prefix_key=replace(spec, policy="none"),
+            # The prefix is policy-independent, and shadow/canary arming
+            # happens post-barrier in `execute`, so cells differing only in
+            # those share a prefix runner.  `guard` stays in the key: it
+            # changes cluster construction itself.
+            prefix_key=replace(spec, policy="none", shadow_policy="none",
+                               canary_policy="none", canary_at=30.0,
+                               canary_window=20.0),
             payload=spec,
         ))
     return plans
@@ -279,7 +287,7 @@ def sweep_plans(specs: list) -> list[CellPlan]:
 def run_sweep_forked(specs: list, jobs: int = 1) -> list[dict[str, Any]]:
     """Warm-start replacement for ``run_sweep``: byte-identical records,
     shared construction and simulation prefixes."""
-    from .sweep import _build_workload, spec_record
+    from .sweep import _build_workload, arm_lifecycle, spec_record
 
     def construct(_ckey, plans: list[CellPlan]):
         spec = plans[0].payload
@@ -301,6 +309,7 @@ def run_sweep_forked(specs: list, jobs: int = 1) -> list[dict[str, Any]]:
         spec = plan.payload
         if spec.policy != "none":
             cluster.set_policy(STOCK_POLICIES[spec.policy]())
+        arm_lifecycle(cluster, spec)
         report = cluster.finish_workload()
         return spec_record(spec, report)
 

@@ -1,0 +1,71 @@
+"""Faults x policy lifecycle: crashes interacting with the breaker,
+fallback decisions and the stability guard -- all visible in one report."""
+
+from repro.cluster import SimulatedCluster
+from repro.core.api import MantlePolicy
+from repro.core.policies import greedy_spill_policy
+from repro.faults import CrashMds, FaultSchedule, check_invariants
+from repro.workloads import CreateWorkload
+from tests.conftest import make_config
+
+
+def broken_policy():
+    return MantlePolicy(name="broken", when="go = MDSs[99]['load'] > 0")
+
+
+class TestFaultsAndLifecycle:
+    def test_crash_recovery_with_breaker_walkthrough(self):
+        config = make_config(num_mds=2, mds_beacon_grace=2.0,
+                             policy_error_threshold=2,
+                             policy_probation_ticks=2,
+                             stability_guard=True)
+        schedule = FaultSchedule(
+            [CrashMds(at=3.0, rank=1, restart_after=2.0)])
+        cluster = SimulatedCluster(config, policy=broken_policy(),
+                                   fault_schedule=schedule)
+        cluster.run_workload(
+            CreateWorkload(num_clients=2, files_per_client=8000,
+                           shared_dir=True))
+        # Keep heartbeats flowing after the workload so the breaker can
+        # finish its open -> probation -> permanent walk post-recovery.
+        cluster.run_for(15.0)
+        cluster.quiesce()
+        report = cluster._report()
+
+        # The workload completed despite crash + broken policy.
+        assert report.total_ops == 2 * 8000
+        fault_kinds = [e.kind for e in report.fault_events]
+        assert "crash" in fault_kinds
+        assert report.metrics.mds(1).restarts == 1
+
+        # The breaker trace is in the same report as the fault trace.
+        kinds = [e.kind for e in report.lifecycle_events]
+        assert "breaker-open" in kinds
+        assert "breaker-probation" in kinds
+        assert "breaker-permanent" in kinds
+        assert report.policy_tripped
+
+        # Fallback ticks are flagged and error-free; the guard is wired
+        # into the live balancer.
+        fallback = [d for d in report.decisions if d.fallback]
+        assert fallback
+        assert all(d.error is None for d in fallback)
+        assert cluster.balancer.guard is cluster.guard
+        assert check_invariants(cluster) == []
+
+    def test_healthy_policy_with_faults_stays_quiet(self):
+        config = make_config(num_mds=2, mds_beacon_grace=2.0,
+                             stability_guard=True)
+        schedule = FaultSchedule(
+            [CrashMds(at=2.0, rank=1, restart_after=1.5)])
+        cluster = SimulatedCluster(config, policy=greedy_spill_policy(),
+                                   fault_schedule=schedule)
+        cluster.run_workload(
+            CreateWorkload(num_clients=2, files_per_client=6000,
+                           shared_dir=True))
+        cluster.quiesce()
+        report = cluster._report()
+        kinds = [e.kind for e in report.lifecycle_events]
+        # No breaker activity: a crash is not a policy failure.
+        assert not any(k.startswith("breaker-") for k in kinds)
+        assert not report.policy_tripped

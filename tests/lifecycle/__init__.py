@@ -1,0 +1,1 @@
+"""Tests for the policy lifecycle subsystem (repro.lifecycle)."""

@@ -1,0 +1,59 @@
+"""StabilityGuard: live ping-pong veto semantics."""
+
+import pytest
+
+from repro.lifecycle import StabilityGuard
+
+
+class TestAllow:
+    def test_first_move_and_non_reversals_pass(self):
+        guard = StabilityGuard(window=10.0, max_bounces=1)
+        assert guard.allow("/a", 0, 1, 1.0)
+        guard.record("/a", 0, 1, 1.0)
+        # A different unit, and a non-reversing follow-up, are both fine.
+        assert guard.allow("/b", 1, 0, 2.0)
+        assert guard.allow("/a", 1, 2, 2.0)
+        assert guard.vetoes == 0
+
+    def test_reversal_vetoed_at_budget_one(self):
+        guard = StabilityGuard(window=10.0, max_bounces=1)
+        guard.record("/a", 0, 1, 1.0)
+        assert not guard.allow("/a", 1, 0, 2.0)
+        assert guard.vetoes == 1
+
+    def test_budget_two_allows_one_bounce_then_vetoes(self):
+        guard = StabilityGuard(window=100.0, max_bounces=2)
+        guard.record("/a", 0, 1, 1.0)
+        assert guard.allow("/a", 1, 0, 2.0)  # first reversal: within budget
+        guard.record("/a", 1, 0, 2.0)
+        assert not guard.allow("/a", 0, 1, 3.0)  # second reversal: vetoed
+        assert guard.vetoes == 1
+
+    def test_window_pruning_forgets_old_moves(self):
+        guard = StabilityGuard(window=5.0, max_bounces=1)
+        guard.record("/a", 0, 1, 1.0)
+        assert not guard.allow("/a", 1, 0, 2.0)
+        # By t=20 the original move fell out of the window: not a reversal.
+        assert guard.allow("/a", 1, 0, 20.0)
+
+
+class TestEventsAndViews:
+    def test_veto_emits_event_and_is_counted_since(self):
+        events = []
+        guard = StabilityGuard(window=10.0, max_bounces=1,
+                               events=lambda *args: events.append(args))
+        guard.record("/a", 0, 1, 1.0)
+        guard.allow("/a", 1, 0, 2.0)
+        ((now, kind, rank, detail),) = events
+        assert (now, kind, rank) == (2.0, "guard-veto", 1)
+        assert "/a" in detail and "mds1->mds0" in detail
+        assert guard.vetoes_since(0.0) == 1
+        assert guard.vetoes_since(3.0) == 0
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            StabilityGuard(window=0.0)
+        with pytest.raises(ValueError):
+            StabilityGuard(max_bounces=0)

@@ -1,0 +1,85 @@
+"""PolicyStore: append-only versioning, rollback, RADOS mirror, JSON."""
+
+import pytest
+
+from repro.core.policies import greedy_spill_policy, original_policy
+from repro.lifecycle import PolicyStore
+from repro.lifecycle.store import INDEX_OBJ, VERSION_OBJ
+
+
+class FakeRados:
+    def __init__(self):
+        self.payloads = {}
+
+
+class TestCommitAndLog:
+    def test_commit_appends_versions(self):
+        store = PolicyStore()
+        v1 = store.commit(greedy_spill_policy(), 0.0, note="inject")
+        v2 = store.commit(original_policy(), 5.0)
+        assert (v1.version, v2.version) == (1, 2)
+        assert store.head is v2
+        assert len(store) == 2
+        assert store.get(1).name == "greedy-spill"
+        assert store.get(1).note == "inject"
+
+    def test_empty_store(self):
+        store = PolicyStore()
+        assert store.head is None
+        assert store.log() == ()
+        with pytest.raises(KeyError):
+            store.get(1)
+
+    def test_policy_at_rematerialises_a_runnable_policy(self):
+        store = PolicyStore()
+        store.commit(greedy_spill_policy(), 0.0)
+        policy = store.policy_at(1)
+        assert policy.name == "greedy-spill"
+        policy.compile_all()
+
+
+class TestRollback:
+    def test_rollback_appends_new_head_without_rewriting_history(self):
+        store = PolicyStore()
+        store.commit(greedy_spill_policy(), 0.0)
+        store.commit(original_policy(), 3.0)
+        restored = store.rollback(1, 7.0)
+        assert restored.version == 3
+        assert restored.name == "greedy-spill"
+        assert restored.note == "rollback to v1"
+        assert restored.source == store.get(1).source
+        assert [v.version for v in store.log()] == [1, 2, 3]
+        assert store.head is restored
+
+    def test_rollback_to_unknown_version_raises(self):
+        store = PolicyStore()
+        store.commit(greedy_spill_policy(), 0.0)
+        with pytest.raises(KeyError):
+            store.rollback(9, 1.0)
+
+
+class TestRadosMirror:
+    def test_commits_mirror_into_rados_payloads(self):
+        rados = FakeRados()
+        store = PolicyStore(rados)
+        store.commit(greedy_spill_policy(), 0.0, note="inject")
+        store.commit(original_policy(), 2.0)
+        assert (rados.payloads[VERSION_OBJ.format(version=1)]
+                == store.get(1).source)
+        assert (rados.payloads[VERSION_OBJ.format(version=2)]
+                == store.get(2).source)
+        index = rados.payloads[INDEX_OBJ]
+        assert index["head"] == 2
+        assert [entry["version"] for entry in index["log"]] == [1, 2]
+        assert index["log"][0]["note"] == "inject"
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_the_log(self):
+        store = PolicyStore()
+        store.commit(greedy_spill_policy(), 0.0, note="inject")
+        store.commit(original_policy(), 4.0, note="canary candidate")
+        store.rollback(1, 8.0)
+        clone = PolicyStore.from_json(store.to_json())
+        assert clone.log() == store.log()
+        assert clone.to_json() == store.to_json()

@@ -26,6 +26,7 @@ pytestmark = pytest.mark.skipif(
     "flash_crowd.py",
     "record_replay.py",
     "mds_failover.py",
+    "safe_rollout.py",
 ])
 def test_example_runs(script):
     result = subprocess.run(
