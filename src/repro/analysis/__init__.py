@@ -1,0 +1,41 @@
+"""mantle-lint: static analysis of Mantle Lua policies.
+
+The analyses run over the :mod:`repro.luapolicy` AST before a policy is
+ever executed -- a static counterpart to the §4.4 dry-run validator:
+
+* :mod:`repro.analysis.cfg` / :mod:`repro.analysis.defuse` -- control
+  flow, reaching definitions, liveness (undefined globals, misspelled
+  Mantle bindings, dead writes, use-before-def);
+* :mod:`repro.analysis.absint` -- abstract interpretation over types and
+  intervals proving hook contracts (numeric load results, boolean ``go``,
+  in-range ``targets`` writes, load conservation);
+* :mod:`repro.analysis.loops` -- loop-bound and instruction-cost checks
+  against the validation budget;
+* :mod:`repro.analysis.purity` -- determinism rules tied to the live
+  sandbox whitelist.
+
+Entry point: :func:`lint_policy`.  Wired into ``mantle-sim lint``, the
+validator, and the ``set_policy`` injection gate (bypass with
+``lint=False`` / ``--no-lint``).
+"""
+
+from .diagnostics import (
+    RULES,
+    Diagnostic,
+    LintReport,
+    PolicyLintError,
+    rule_severity,
+    rule_slug,
+)
+from .linter import DEFAULT_LINT_RANKS, lint_policy
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "LintReport",
+    "PolicyLintError",
+    "DEFAULT_LINT_RANKS",
+    "lint_policy",
+    "rule_severity",
+    "rule_slug",
+]

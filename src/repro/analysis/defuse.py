@@ -1,0 +1,207 @@
+"""Reaching definitions and liveness over the policy CFG.
+
+Implements the def-use family of lint rules:
+
+* M101 undefined-global -- a name that is read but never bound anywhere
+  (not a hook binding, not sandbox stdlib, not defined in the chunk);
+* M102 misspelled-binding -- as M101, but close enough to a real binding
+  that a did-you-mean hint applies;
+* M103 use-before-def -- the name *is* defined in the chunk, but some
+  path reaches the read before any definition has executed;
+* M104 dead-write -- an assignment whose value can never be read;
+* M105 binding-overwrite -- assigning over a Mantle environment binding
+  or a sandbox builtin;
+* M106 shadowed-builtin-call -- calling a builtin name after every path
+  rebound it to a non-function value (paper Listing 4's ``max=0`` bug).
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from ..luapolicy import lua_ast as ast
+from ..luapolicy.stdlib import SANDBOX_GLOBALS
+from .cfg import Cfg, Def
+from .diagnostics import Diagnostic
+
+#: Pseudo-definition sites in the reaching-defs lattice.
+_ENV = -1    # bound by the hook environment / stdlib before the chunk runs
+_UNDEF = -2  # "no definition has executed yet" (the entry state)
+
+
+def _collect_defs(cfg: Cfg) -> dict[str, set[tuple[int, int]]]:
+    """name -> set of (node_id, def_index) real definition sites."""
+    sites: dict[str, set[tuple[int, int]]] = {}
+    for node in cfg.nodes:
+        for i, definition in enumerate(node.defs):
+            sites.setdefault(definition.name, set()).add((node.id, i))
+    return sites
+
+
+def _reaching(cfg: Cfg, env_names: frozenset[str],
+              def_sites: dict[str, set[tuple[int, int]]]
+              ) -> list[dict[str, set]]:
+    """IN[node] for every node: name -> reaching def sites.
+
+    Sites are (node_id, def_index) pairs, or the ``_ENV``/``_UNDEF``
+    pseudo-sites.  Forward worklist to fixpoint.
+    """
+    entry_state: dict[str, set] = {}
+    for name in env_names:
+        entry_state[name] = {_ENV}
+    for name in SANDBOX_GLOBALS:
+        entry_state.setdefault(name, set()).add(_ENV)
+    for name in def_sites:
+        entry_state.setdefault(name, set()).add(_UNDEF)
+
+    ins: list[dict[str, set]] = [{} for _ in cfg.nodes]
+    ins[cfg.entry] = entry_state
+    preds = cfg.preds()
+    worklist = list(range(len(cfg.nodes)))
+    while worklist:
+        node_id = worklist.pop(0)
+        if node_id == cfg.entry:
+            state = entry_state
+        else:
+            state = {}
+            for pred in preds[node_id]:
+                pred_out = _transfer(cfg.nodes[pred], ins[pred])
+                for name, sites in pred_out.items():
+                    state.setdefault(name, set()).update(sites)
+        if state != ins[node_id] or node_id == cfg.entry:
+            ins[node_id] = state
+            for succ in cfg.nodes[node_id].succs:
+                if succ not in worklist:
+                    worklist.append(succ)
+    return ins
+
+
+def _transfer(node, in_state: dict[str, set]) -> dict[str, set]:
+    if not node.defs:
+        return in_state
+    out = dict(in_state)
+    for i, definition in enumerate(node.defs):
+        out[definition.name] = {(node.id, i)}
+    return out
+
+
+def _liveness(cfg: Cfg, outputs: frozenset[str]) -> list[set[str]]:
+    """LIVE-OUT[node] for every node.  Backward worklist to fixpoint."""
+    live_out: list[set[str]] = [set() for _ in cfg.nodes]
+    live_in: list[set[str]] = [set() for _ in cfg.nodes]
+    live_out[cfg.exit] = set(outputs)
+    live_in[cfg.exit] = set(outputs)
+    preds = cfg.preds()
+    worklist = list(range(len(cfg.nodes)))
+    while worklist:
+        node_id = worklist.pop()
+        node = cfg.nodes[node_id]
+        out = set(outputs) if node_id == cfg.exit else set()
+        for succ in node.succs:
+            out |= live_in[succ]
+        uses = {use.name for use in node.uses}
+        defs = {d.name for d in node.defs}
+        new_in = uses | (out - defs)
+        if out != live_out[node_id] or new_in != live_in[node_id]:
+            live_out[node_id] = out
+            live_in[node_id] = new_in
+            for pred in preds[node_id]:
+                if pred not in worklist:
+                    worklist.append(pred)
+    return live_out
+
+
+_NON_FUNCTION_VALUES = (ast.NilLiteral, ast.BoolLiteral, ast.NumberLiteral,
+                        ast.StringLiteral, ast.BinaryOp, ast.UnaryOp,
+                        ast.TableConstructor)
+
+
+def _provably_non_function(definition: Def) -> bool:
+    value = definition.value
+    if definition.kind == "for":
+        return True  # loop variables are numbers (or iterator values)
+    return isinstance(value, _NON_FUNCTION_VALUES)
+
+
+def check_defuse(cfg: Cfg, env_names: frozenset[str],
+                 outputs: frozenset[str],
+                 diagnostics: list[Diagnostic]) -> None:
+    """Run reaching-defs + liveness and emit M101..M106."""
+    def_sites = _collect_defs(cfg)
+    ins = _reaching(cfg, env_names, def_sites)
+    known = set(env_names) | set(SANDBOX_GLOBALS)
+    suggestion_pool = sorted(known)
+
+    for node in cfg.nodes:
+        if node.synthetic:
+            continue
+        state = ins[node.id]
+        for use in node.uses:
+            name = use.name
+            reaching = state.get(name, set())
+            if name not in def_sites and name not in known:
+                close = difflib.get_close_matches(
+                    name, suggestion_pool, n=1, cutoff=0.75)
+                if close:
+                    diagnostics.append(Diagnostic(
+                        "M102", node.hook,
+                        f"unknown name {name!r}",
+                        use.line, use.column,
+                        hint=f"did you mean {close[0]!r}?"))
+                else:
+                    diagnostics.append(Diagnostic(
+                        "M101", node.hook,
+                        f"{name!r} is never defined and is not a "
+                        f"{node.hook} binding (it reads as nil)",
+                        use.line, use.column))
+                continue
+            if name in def_sites and name not in known:
+                real = {site for site in reaching
+                        if site not in (_ENV, _UNDEF)}
+                if _UNDEF in reaching:
+                    if real:
+                        message = (f"{name!r} may be read before it is "
+                                   "assigned (some paths skip its "
+                                   "definition)")
+                    else:
+                        message = (f"{name!r} is read before any of its "
+                                   "assignments can have run")
+                    diagnostics.append(Diagnostic(
+                        "M103", node.hook, message, use.line, use.column))
+            if use.is_call and name in SANDBOX_GLOBALS:
+                real = {site for site in reaching
+                        if site not in (_ENV, _UNDEF)}
+                if real and _ENV not in reaching:
+                    defs = [cfg.nodes[nid].defs[i] for nid, i in real]
+                    if all(_provably_non_function(d) for d in defs):
+                        diagnostics.append(Diagnostic(
+                            "M106", node.hook,
+                            f"call to {name!r}, but every reaching "
+                            "assignment rebinds it to a non-function "
+                            "value (the sandbox builtin is shadowed)",
+                            use.line, use.column,
+                            hint=f"rename the variable shadowing "
+                                 f"{name!r}"))
+
+    live_out = _liveness(cfg, outputs)
+    for node in cfg.nodes:
+        for definition in node.defs:
+            name = definition.name
+            if name in env_names or name in SANDBOX_GLOBALS:
+                diagnostics.append(Diagnostic(
+                    "M105", node.hook,
+                    f"assignment overwrites the {node.hook} binding "
+                    f"{name!r}" if name in env_names else
+                    f"assignment overwrites the sandbox builtin {name!r}",
+                    definition.line, definition.column,
+                    hint="pick a different variable name"))
+            if definition.kind == "for" or name.startswith("_"):
+                continue
+            if name in outputs or name in env_names or \
+                    name in SANDBOX_GLOBALS:
+                continue
+            if name not in live_out[node.id]:
+                diagnostics.append(Diagnostic(
+                    "M104", node.hook,
+                    f"value assigned to {name!r} is never read",
+                    definition.line, definition.column))

@@ -1,0 +1,143 @@
+"""The mantle-lint driver: run every analysis pass over a policy.
+
+:func:`lint_policy` is the single entry point used by the CLI
+(``mantle-sim lint``), the validator, and the ``set_policy`` injection
+gate.  It parses each hook exactly the way the runtime does (load hooks
+expression-first, falling back to a statement chunk; when/where as the
+combined decision chunk of :meth:`MantlePolicy.decision_source`) and runs
+four passes:
+
+1. CFG + reaching-definitions / liveness  (M101-M106),
+2. abstract interpretation of the hook contracts (M107, M201-M205),
+3. loop-bound / instruction-cost analysis (M301-M303),
+4. determinism / purity against the live sandbox whitelist (M401-M402).
+
+Findings come back as a :class:`LintReport` of structured
+:class:`Diagnostic` records with positions inside the offending hook's
+source text.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.environment import (
+    DECISION_BINDINGS,
+    METALOAD_BINDINGS,
+    MDSLOAD_BINDINGS,
+)
+from ..luapolicy import lua_ast as ast
+from ..luapolicy.errors import LuaSyntaxError
+from ..luapolicy.parser import parse_chunk, parse_expression
+from .absint import AbstractInterp
+from .cfg import build_cfg, build_decision_cfg
+from .defuse import check_defuse
+from .diagnostics import Diagnostic, LintReport, finalize
+from .loops import check_loops
+from .purity import check_purity
+
+#: Mirrors ``VALIDATION_BUDGET`` in :mod:`repro.core.validator`; imported
+#: lazily there to keep this package free of circular imports.
+_DEFAULT_BUDGET = 200_000
+
+#: Dry-run cluster size -- the same default the §4.4 validator uses, so
+#: ``targets`` range proofs match what the dry run would observe.
+DEFAULT_LINT_RANKS = 4
+
+
+def _parse_load_hook(source: str, hook: str,
+                     diagnostics: list[Diagnostic]
+                     ) -> Optional[ast.Block]:
+    """Parse a load formula the way ``compile_load_expression`` does."""
+    text = source.strip()
+    try:
+        expr = parse_expression(text)
+        return ast.Block((ast.Return(getattr(expr, "line", 1), (expr,)),))
+    except LuaSyntaxError:
+        pass
+    try:
+        return parse_chunk(text)
+    except LuaSyntaxError as exc:
+        diagnostics.append(Diagnostic(
+            "M001", hook, _strip_position(str(exc)),
+            exc.line, exc.column))
+        return None
+
+
+def _parse_chunk_hook(source: str, hook: str,
+                      diagnostics: list[Diagnostic]
+                      ) -> Optional[ast.Block]:
+    try:
+        return parse_chunk(source)
+    except LuaSyntaxError as exc:
+        diagnostics.append(Diagnostic(
+            "M001", hook, _strip_position(str(exc)),
+            exc.line, exc.column))
+        return None
+
+
+def _strip_position(message: str) -> str:
+    """Drop the trailing ``(line L, column C)`` -- Diagnostic carries it."""
+    if message.endswith(")") and " (line " in message:
+        return message[:message.rindex(" (line ")]
+    return message
+
+
+def _lint_load_hook(source: str, hook: str, output_global: str,
+                    env_names: frozenset[str], num_ranks: int,
+                    budget: int,
+                    diagnostics: list[Diagnostic]) -> None:
+    block = _parse_load_hook(source, hook, diagnostics)
+    if block is None:
+        return
+    cfg = build_cfg(block, hook)
+    check_defuse(cfg, env_names, frozenset({output_global}), diagnostics)
+    interp = AbstractInterp(num_ranks, diagnostics)
+    if hook == "metaload":
+        interp.seed_metaload_env()
+    else:
+        interp.seed_mdsload_env()
+    interp.run_block(block, hook)
+    interp.check_load_result(hook, output_global)
+    check_loops(block, hook, diagnostics, budget)
+    check_purity(block, hook, env_names, diagnostics)
+
+
+def _lint_decision(when: str, where: str, num_ranks: int, budget: int,
+                   diagnostics: list[Diagnostic]) -> None:
+    when_block = _parse_chunk_hook(when, "when", diagnostics)
+    where_block = _parse_chunk_hook(where, "where", diagnostics)
+    if when_block is None or where_block is None:
+        return
+    cfg = build_decision_cfg(when_block, where_block)
+    check_defuse(cfg, DECISION_BINDINGS, frozenset({"go"}), diagnostics)
+
+    interp = AbstractInterp(num_ranks, diagnostics)
+    interp.seed_decision_env()
+    interp.run_block(when_block, "when")
+    interp.check_go()
+    interp.run_block(where_block, "where")
+    interp.check_targets()
+
+    check_loops(when_block, "when", diagnostics, budget)
+    check_loops(where_block, "where", diagnostics, budget)
+    check_purity(when_block, "when", DECISION_BINDINGS, diagnostics)
+    check_purity(where_block, "where", DECISION_BINDINGS, diagnostics)
+
+
+def lint_policy(policy, num_ranks: int = DEFAULT_LINT_RANKS,
+                budget: int = _DEFAULT_BUDGET) -> LintReport:
+    """Statically analyze a :class:`MantlePolicy`.
+
+    *num_ranks* is the cluster size used for range proofs (``targets``
+    indices, ``#MDSs``); it defaults to the validator's dry-run size so
+    "provably out of range" means "the dry run would drop it".
+    """
+    diagnostics: list[Diagnostic] = []
+    _lint_load_hook(policy.metaload, "metaload", "metaload",
+                    METALOAD_BINDINGS, num_ranks, budget, diagnostics)
+    _lint_load_hook(policy.mdsload, "mdsload", "mdsload",
+                    MDSLOAD_BINDINGS, num_ranks, budget, diagnostics)
+    _lint_decision(policy.when, policy.where, num_ranks, budget,
+                   diagnostics)
+    return finalize(policy.name, diagnostics)

@@ -1,0 +1,302 @@
+"""Loop-bound and cost analysis for policy hooks.
+
+Policies run under instruction budgets (``VALIDATION_BUDGET`` during the
+dry run, ``DEFAULT_BUDGET`` in production), so a loop that is not bounded
+by ``#MDSs`` or a constant is either an injection-time failure waiting to
+happen or -- worse -- a budget blowup on the first real heartbeat.  Three
+rules:
+
+* M301 infinite-loop -- a ``while``/``repeat`` whose condition is a
+  constant truthy value with no ``break`` in the body;
+* M302 loop-bound-unprovable -- no monotone self-update of any variable
+  the condition depends on (directly, or through one assignment hop, so
+  GIGA+'s ``depth = depth*2; target = whoami + depth`` passes);
+* M303 loop-budget -- the provable trip count times the estimated body
+  cost exceeds ``VALIDATION_BUDGET``, so the §4.4 dry run itself would
+  reject the policy.
+"""
+
+from __future__ import annotations
+
+from ..luapolicy import lua_ast as ast
+from .diagnostics import Diagnostic
+
+#: Assumed trip counts for cost estimation when the exact count is
+#: unknown: loops bounded by ``#MDSs`` (clusters in this repo are small),
+#: and everything else that at least looks terminating.
+TRIP_MDS_BOUND = 16
+TRIP_UNKNOWN = 8
+
+
+def _is_const_truthy(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.BoolLiteral):
+        return expr.value
+    # any number (including 0) and any string are truthy in Lua
+    return isinstance(expr, (ast.NumberLiteral, ast.StringLiteral))
+
+
+def _mentions_mds_count(expr: ast.Expr) -> bool:
+    """Does the expression contain ``#MDSs`` (or read MDSs at all)?"""
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "#" and isinstance(expr.operand, ast.Name) and \
+                expr.operand.name == "MDSs":
+            return True
+        return _mentions_mds_count(expr.operand)
+    if isinstance(expr, ast.BinaryOp):
+        return _mentions_mds_count(expr.left) or \
+            _mentions_mds_count(expr.right)
+    if isinstance(expr, ast.Index):
+        return _mentions_mds_count(expr.obj) or \
+            _mentions_mds_count(expr.key)
+    if isinstance(expr, ast.Call):
+        return any(_mentions_mds_count(arg) for arg in expr.args)
+    return False
+
+
+def _expr_names(expr: ast.Expr, out: set[str]) -> None:
+    if isinstance(expr, ast.Name):
+        out.add(expr.name)
+    elif isinstance(expr, ast.Index):
+        _expr_names(expr.obj, out)
+        _expr_names(expr.key, out)
+    elif isinstance(expr, ast.Call):
+        _expr_names(expr.func, out)
+        for arg in expr.args:
+            _expr_names(arg, out)
+    elif isinstance(expr, ast.UnaryOp):
+        _expr_names(expr.operand, out)
+    elif isinstance(expr, ast.BinaryOp):
+        _expr_names(expr.left, out)
+        _expr_names(expr.right, out)
+    elif isinstance(expr, ast.TableConstructor):
+        for tfield in expr.fields:
+            if tfield.key is not None:
+                _expr_names(tfield.key, out)
+            _expr_names(tfield.value, out)
+
+
+def _contains_break(block: ast.Block) -> bool:
+    for stmt in block.statements:
+        if isinstance(stmt, ast.Break):
+            return True
+        if isinstance(stmt, ast.If):
+            if any(_contains_break(body) for _c, body in stmt.branches):
+                return True
+            if _contains_break(stmt.orelse):
+                return True
+        elif isinstance(stmt, ast.Do):
+            if _contains_break(stmt.body):
+                return True
+        # breaks inside nested loops belong to those loops
+    return False
+
+
+def _is_monotone_update(name: str, value: ast.Expr) -> bool:
+    """``name = name +/- c``, ``name = name * c`` (c>1), ``name = name / c``
+    (c>1) -- the self-updates that make progress toward a comparison."""
+    if not isinstance(value, ast.BinaryOp):
+        return False
+    left, right, op = value.left, value.right, value.op
+    refs_self = (isinstance(left, ast.Name) and left.name == name) or \
+        (isinstance(right, ast.Name) and right.name == name)
+    if not refs_self:
+        return False
+    if op in ("+", "-"):
+        other = right if isinstance(left, ast.Name) and left.name == name \
+            else left
+        return isinstance(other, ast.NumberLiteral) and other.value != 0
+    if op in ("*", "/"):
+        other = right if isinstance(left, ast.Name) and left.name == name \
+            else left
+        return isinstance(other, ast.NumberLiteral) and \
+            abs(other.value) > 1
+    return False
+
+
+def _body_assignments(block: ast.Block,
+                      out: list[tuple[str, ast.Expr]]) -> None:
+    """All ``name = expr`` assignments anywhere in the loop body."""
+    for stmt in block.statements:
+        if isinstance(stmt, ast.Assign):
+            n_values = len(stmt.values)
+            for i, target in enumerate(stmt.targets):
+                if isinstance(target, ast.Name) and i < n_values:
+                    out.append((target.name, stmt.values[i]))
+        elif isinstance(stmt, ast.LocalAssign):
+            for i, name in enumerate(stmt.names):
+                if i < len(stmt.values):
+                    out.append((name, stmt.values[i]))
+        elif isinstance(stmt, ast.If):
+            for _cond, body in stmt.branches:
+                _body_assignments(body, out)
+            _body_assignments(stmt.orelse, out)
+        elif isinstance(stmt, (ast.While, ast.Repeat, ast.NumericFor,
+                               ast.GenericFor)):
+            _body_assignments(stmt.body, out)
+        elif isinstance(stmt, ast.Do):
+            _body_assignments(stmt.body, out)
+
+
+def _check_condition_progress(condition: ast.Expr, body: ast.Block,
+                              hook: str, line: int, column: int,
+                              diagnostics: list[Diagnostic]) -> None:
+    """M301/M302 for a while/repeat loop."""
+    has_break = _contains_break(body)
+    if _is_const_truthy(condition):
+        if not has_break:
+            diagnostics.append(Diagnostic(
+                "M301", hook,
+                "loop condition is a constant truthy value and the body "
+                "has no break -- the loop can never terminate",
+                line, column,
+                hint="bound the loop by #MDSs or add a break"))
+        return
+    if has_break:
+        return  # a data-dependent break is an exit we cannot disprove
+    cond_vars: set[str] = set()
+    _expr_names(condition, cond_vars)
+    assignments: list[tuple[str, ast.Expr]] = []
+    _body_assignments(body, assignments)
+    # relevant vars: condition vars, plus anything feeding an assignment
+    # *to* a condition var inside the body (one hop of indirection)
+    relevant = set(cond_vars)
+    for name, value in assignments:
+        if name in cond_vars:
+            feed: set[str] = set()
+            _expr_names(value, feed)
+            relevant |= feed
+    if any(name in relevant and _is_monotone_update(name, value)
+           for name, value in assignments):
+        return
+    if not any(name in relevant for name, _value in assignments):
+        diagnostics.append(Diagnostic(
+            "M302", hook,
+            "no variable the loop condition depends on is assigned in "
+            "the body -- the loop cannot make progress",
+            line, column,
+            hint="update a condition variable (e.g. i = i + 1) or bound "
+                 "the loop by #MDSs"))
+        return
+    diagnostics.append(Diagnostic(
+        "M302", hook,
+        "cannot prove the loop terminates: no condition variable has a "
+        "monotone update (i = i + c, i = i * c) in the body",
+        line, column,
+        hint="drive the condition with a counted update or bound the "
+             "loop by #MDSs"))
+
+
+def _block_cost(block: ast.Block, hook: str,
+                diagnostics: list[Diagnostic],
+                budget: int) -> int:
+    """Estimated interpreter instruction cost of one pass over the block,
+    emitting M301/M302/M303 for loops found along the way."""
+    cost = 0
+    for stmt in block.statements:
+        cost += _stmt_cost(stmt, hook, diagnostics, budget)
+    return cost
+
+
+def _expr_cost(expr: ast.Expr) -> int:
+    if isinstance(expr, (ast.BinaryOp,)):
+        return 1 + _expr_cost(expr.left) + _expr_cost(expr.right)
+    if isinstance(expr, ast.UnaryOp):
+        return 1 + _expr_cost(expr.operand)
+    if isinstance(expr, ast.Index):
+        return 1 + _expr_cost(expr.obj) + _expr_cost(expr.key)
+    if isinstance(expr, ast.Call):
+        return 2 + _expr_cost(expr.func) + \
+            sum(_expr_cost(arg) for arg in expr.args)
+    if isinstance(expr, ast.TableConstructor):
+        return 1 + sum(_expr_cost(f.value) +
+                       (_expr_cost(f.key) if f.key is not None else 0)
+                       for f in expr.fields)
+    return 1
+
+
+def _stmt_cost(stmt: ast.Stmt, hook: str,
+               diagnostics: list[Diagnostic], budget: int) -> int:
+    if isinstance(stmt, ast.Assign):
+        return 1 + sum(_expr_cost(v) for v in stmt.values) + \
+            sum(_expr_cost(t) for t in stmt.targets)
+    if isinstance(stmt, ast.LocalAssign):
+        return 1 + sum(_expr_cost(v) for v in stmt.values)
+    if isinstance(stmt, ast.CallStmt):
+        return _expr_cost(stmt.call)
+    if isinstance(stmt, ast.Return):
+        return 1 + sum(_expr_cost(v) for v in stmt.values)
+    if isinstance(stmt, ast.If):
+        body_costs = [_block_cost(body, hook, diagnostics, budget)
+                      for _c, body in stmt.branches]
+        body_costs.append(_block_cost(stmt.orelse, hook, diagnostics,
+                                      budget))
+        return sum(_expr_cost(c) for c, _b in stmt.branches) + \
+            max(body_costs)
+    if isinstance(stmt, ast.While):
+        _check_condition_progress(stmt.condition, stmt.body, hook,
+                                  stmt.line, stmt.column, diagnostics)
+        body = _block_cost(stmt.body, hook, diagnostics, budget)
+        trips = TRIP_MDS_BOUND if _mentions_mds_count(stmt.condition) \
+            else TRIP_UNKNOWN
+        return trips * (body + _expr_cost(stmt.condition))
+    if isinstance(stmt, ast.Repeat):
+        _check_condition_progress(stmt.condition, stmt.body, hook,
+                                  stmt.line, stmt.column, diagnostics)
+        body = _block_cost(stmt.body, hook, diagnostics, budget)
+        trips = TRIP_MDS_BOUND if _mentions_mds_count(stmt.condition) \
+            else TRIP_UNKNOWN
+        return trips * (body + _expr_cost(stmt.condition))
+    if isinstance(stmt, ast.NumericFor):
+        body = _block_cost(stmt.body, hook, diagnostics, budget)
+        trips = _numeric_for_trips(stmt, hook, diagnostics)
+        total = trips * (body + 2) + _expr_cost(stmt.start) + \
+            _expr_cost(stmt.stop)
+        if total > budget:
+            diagnostics.append(Diagnostic(
+                "M303", hook,
+                f"estimated loop cost ~{total} instructions exceeds the "
+                f"validation budget ({budget}); the dry run will reject "
+                "this policy", stmt.line, stmt.column,
+                hint="shrink the iteration count -- policies should "
+                     "iterate over #MDSs, not large constants"))
+        return min(total, budget)
+    if isinstance(stmt, ast.GenericFor):
+        body = _block_cost(stmt.body, hook, diagnostics, budget)
+        return TRIP_MDS_BOUND * (body + 2) + _expr_cost(stmt.iterable)
+    if isinstance(stmt, ast.Do):
+        return _block_cost(stmt.body, hook, diagnostics, budget)
+    if isinstance(stmt, ast.FunctionDecl):
+        return 1
+    return 1  # Break
+
+
+def _numeric_for_trips(stmt: ast.NumericFor, hook: str,
+                       diagnostics: list[Diagnostic]) -> int:
+    start = stmt.start.value if isinstance(stmt.start, ast.NumberLiteral) \
+        else None
+    stop = stmt.stop.value if isinstance(stmt.stop, ast.NumberLiteral) \
+        else None
+    step = 1.0
+    if stmt.step is not None:
+        if isinstance(stmt.step, ast.NumberLiteral):
+            step = stmt.step.value
+        else:
+            step = None
+    if stop is not None and start is not None and step not in (None, 0):
+        return max(0, int((stop - start) / step) + 1)
+    if _mentions_mds_count(stmt.stop) or _mentions_mds_count(stmt.start):
+        return TRIP_MDS_BOUND
+    diagnostics.append(Diagnostic(
+        "M302", hook,
+        f"the bound of the for loop over {stmt.var!r} is neither a "
+        "constant nor derived from #MDSs",
+        stmt.line, stmt.column,
+        hint="iterate for i=1,#MDSs (the validator budget assumes "
+             "cluster-sized loops)"))
+    return TRIP_UNKNOWN
+
+
+def check_loops(block: ast.Block, hook: str,
+                diagnostics: list[Diagnostic], budget: int) -> int:
+    """Run the loop rules over one hook chunk; returns the cost estimate."""
+    return _block_cost(block, hook, diagnostics, budget)

@@ -7,6 +7,9 @@ against the simulated cluster:
 * ``mantle-sim show <policy>`` — print a policy as a ``.lua`` policy file;
 * ``mantle-sim validate <policy-or-file>`` — pre-injection validation
   (paper §4.4's "simulator that checks the logic before injecting");
+* ``mantle-sim lint <policy-or-file>...`` — static analysis only
+  (mantle-lint: CFG/def-use, hook contracts, loop bounds, purity;
+  see docs/ANALYSIS.md for the rule catalogue);
 * ``mantle-sim run ...`` — run a workload under a policy and report;
 * ``mantle-sim inspect ...`` — same run, post-hoc behaviour analysis
   (migration cadence, thrash, guard vetoes, rollout events);
@@ -59,11 +62,46 @@ def cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import lint_policy
+
+    reports = []
+    for spec in args.policies:
+        policy = _resolve_policy(spec)
+        if policy is None:
+            raise SystemExit("cannot lint 'none'")
+        reports.append(lint_policy(policy, num_ranks=args.mds))
+    if args.format == "json":
+        import json
+        print(json.dumps([report.to_dict() for report in reports],
+                         indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render())
+    def failing(report) -> bool:
+        if args.strict:
+            return bool(report.diagnostics)
+        return not report.ok
+
+    if args.expect_fail:
+        # CI mode for the broken-policy fixtures: every policy listed must
+        # fail lint, proving the rules still fire.
+        passed = [report.policy_name for report in reports
+                  if not failing(report)]
+        if passed:
+            print("expected lint findings, but these policies passed: "
+                  + ", ".join(passed), file=sys.stderr)
+            return 1
+        return 0
+    return 1 if any(failing(report) for report in reports) else 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     policy = _resolve_policy(args.policy)
     if policy is None:
         raise SystemExit("cannot validate 'none'")
-    report = validate_policy(policy, num_ranks=args.mds)
+    report = validate_policy(policy, num_ranks=args.mds,
+                             lint=not args.no_lint)
     print(f"policy:   {report.policy_name}")
     print(f"ok:       {report.ok}")
     for problem in report.problems:
@@ -107,11 +145,16 @@ def _execute_run(args: argparse.Namespace):
     """
     policy = _resolve_policy(args.policy)
     if policy is not None:
-        report = validate_policy(policy)
+        report = validate_policy(policy, lint=not args.no_lint)
         if not report.ok:
             print("refusing to inject an invalid policy:", file=sys.stderr)
             for problem in report.problems:
                 print(f"  {problem}", file=sys.stderr)
+            if not args.no_lint and any(
+                    problem.startswith("lint:")
+                    for problem in report.problems):
+                print("  (--no-lint bypasses the static analyzer)",
+                      file=sys.stderr)
             return None
     schedule = None
     if args.faults:
@@ -131,7 +174,8 @@ def _execute_run(args: argparse.Namespace):
         stability_guard=args.guard,
     )
     cluster = SimulatedCluster(config, policy=policy,
-                               fault_schedule=schedule)
+                               fault_schedule=schedule,
+                               lint_policies=not args.no_lint)
     # Shadow and canary candidates are deliberately *not* validated:
     # the lifecycle machinery exists so a bad candidate cannot hurt the
     # run (the breaker, guard and rollback contain it).
@@ -228,8 +272,9 @@ def cmd_store(args: argparse.Namespace) -> int:
     if args.action == "log":
         for version in store.log():
             note = f"  ({version.note})" if version.note else ""
+            lint = f"  [{version.lint}]" if version.lint else ""
             print(f"v{version.version}  '{version.name}'  "
-                  f"@ {version.time:.1f}s{note}")
+                  f"@ {version.time:.1f}s{lint}{note}")
         return 0
     if args.action == "show":
         if len(args.versions) != 1:
@@ -279,6 +324,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             canary_policy=normalize_policy(args.canary),
             canary_at=args.canary_at,
             canary_window=args.canary_window,
+            lint=not args.no_lint,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -364,7 +410,23 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("policy", help="stock name or .lua policy file")
     validate.add_argument("--mds", type=int, default=4,
                           help="ranks in the dry-run cluster")
+    validate.add_argument("--no-lint", action="store_true",
+                          help="skip the static analyzer; dry-run only")
     validate.set_defaults(func=cmd_validate)
+
+    lint = sub.add_parser(
+        "lint", help="statically analyze policies (mantle-lint)")
+    lint.add_argument("policies", nargs="+",
+                      help="stock names and/or .lua policy files")
+    lint.add_argument("--mds", type=int, default=4,
+                      help="cluster size assumed for range proofs")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--strict", action="store_true",
+                      help="treat warnings as failures too")
+    lint.add_argument("--expect-fail", action="store_true",
+                      help="invert the exit status: succeed only if every "
+                           "policy has lint errors (CI fixture mode)")
+    lint.set_defaults(func=cmd_lint)
 
     def add_run_arguments(command: argparse.ArgumentParser) -> None:
         """Simulation arguments shared by ``run`` and ``inspect``."""
@@ -411,6 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--guard", action="store_true",
                              help="enable the online stability guard "
                                   "(ping-pong export veto)")
+        command.add_argument("--no-lint", action="store_true",
+                             help="bypass the static-analysis injection "
+                                  "gate (the dry-run validator and the "
+                                  "runtime breaker still apply)")
 
     run = sub.add_parser("run", help="run a workload under a policy")
     add_run_arguments(run)
@@ -477,6 +543,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-cache", action="store_true",
                        help="skip the result cache (REPRO_NO_CACHE=1 "
                             "does the same)")
+    sweep.add_argument("--no-lint", action="store_true",
+                       help="bypass the static-analysis injection gate "
+                            "in every cell")
     sweep.set_defaults(func=cmd_sweep)
 
     bench = sub.add_parser(

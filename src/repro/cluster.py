@@ -13,6 +13,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .analysis import DEFAULT_LINT_RANKS, LintReport, PolicyLintError, \
+    lint_policy
 from .clients.client import Client, build_clients
 from .config import ClusterConfig
 from .core.api import MantlePolicy
@@ -57,6 +59,10 @@ class SimReport:
     shadow_log: list[ShadowTick] = field(default_factory=list)
     #: Aggregate shadow stats (None when no shadow was armed).
     shadow_summary: Optional[dict] = None
+    #: Static-analysis reports for every policy injected through
+    #: ``set_policy`` during this run, keyed by policy name (empty when
+    #: lint was disabled).
+    lint_reports: dict[str, LintReport] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -198,9 +204,14 @@ class SimulatedCluster:
                  heat_sampling: float | None = None,
                  heat_depth: int = 4,
                  fault_schedule: Optional[FaultSchedule] = None,
-                 namespace: Optional[Namespace] = None) -> None:
+                 namespace: Optional[Namespace] = None,
+                 lint_policies: bool = True) -> None:
         config.validate()
         self.config = config
+        #: Gate every ``set_policy`` behind the static analyzer (the
+        #: per-call ``lint=`` argument overrides this default).
+        self.lint_policies = lint_policies
+        self._lint_reports: dict[str, LintReport] = {}
         self.engine = SimEngine()
         self.rngs = RngStreams(seed=config.seed)
         self.network = Network(
@@ -274,8 +285,16 @@ class SimulatedCluster:
         )
 
     # -- policy injection ---------------------------------------------------
-    def set_policy(self, policy: MantlePolicy, note: str = "inject") -> None:
+    def set_policy(self, policy: MantlePolicy, note: str = "inject",
+                   lint: Optional[bool] = None) -> None:
         """Inject a Mantle policy into every rank (``ceph tell mds.*``).
+
+        The policy first passes through the static analyzer
+        (:func:`repro.analysis.lint_policy`); an error-severity finding
+        raises :class:`PolicyLintError` before anything is installed.
+        Pass ``lint=False`` (or construct the cluster with
+        ``lint_policies=False``) to bypass the gate -- the §4.4 dry-run
+        validator and the runtime circuit breaker still apply.
 
         Every injection is a recorded version transition in the policy
         store, with the previous version retained for rollback.  The commit
@@ -284,6 +303,20 @@ class SimulatedCluster:
         barrier rather than at construction time (see
         :mod:`repro.lifecycle.store`).
         """
+        if lint is None:
+            lint = self.lint_policies
+        lint_summary = ""
+        if lint:
+            # Lint at the larger of the real cluster size and the dry-run
+            # default: range proofs stay valid, never spuriously tighter.
+            lint_report = lint_policy(
+                policy,
+                num_ranks=max(len(self.mdss), DEFAULT_LINT_RANKS),
+            )
+            self._lint_reports[policy.name] = lint_report
+            lint_summary = lint_report.summary()
+            if not lint_report.ok:
+                raise PolicyLintError(lint_report)
         self.balancer = MantleBalancer(
             policy,
             error_threshold=self.config.policy_error_threshold,
@@ -294,7 +327,8 @@ class SimulatedCluster:
         self.balancers = [self.balancer]
         for mds in self.mdss:
             mds.balancer = self.balancer
-        version = self.policy_store.commit(policy, 0.0, note=note)
+        version = self.policy_store.commit(policy, 0.0, note=note,
+                                           lint=lint_summary)
         self.metrics.record_lifecycle(
             0.0, "policy-commit", -1,
             f"v{version.version}: '{policy.name}' ({note})",
@@ -515,6 +549,7 @@ class SimulatedCluster:
             policy_log=list(self.policy_store.log()),
             shadow_log=(list(self.shadow.log) if self.shadow else []),
             shadow_summary=(self.shadow.summary() if self.shadow else None),
+            lint_reports=dict(self._lint_reports),
         )
         report._sessions_opened = sum(
             mds.sessions.sessions_opened for mds in self.mdss

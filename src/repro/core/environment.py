@@ -30,6 +30,19 @@ from ..namespace.counters import OP_KINDS
 #: liveness flag: 1.0 for live ranks, 0.0 for ranks declared dead).
 MDS_METRIC_KEYS = ("auth", "all", "cpu", "mem", "q", "req", "load", "alive")
 
+#: Canonical binding sets per hook -- the global names each hook's chunk can
+#: rely on, exactly as the builders below install them.  The static analyzer
+#: (repro.analysis) checks policy reads against these, so a misspelling like
+#: ``allmetalod`` is caught before injection instead of evaluating to nil.
+METALOAD_BINDINGS: frozenset[str] = frozenset(OP_KINDS)
+MDSLOAD_BINDINGS: frozenset[str] = frozenset({"MDSs", "i"})
+DECISION_BINDINGS: frozenset[str] = frozenset({
+    "whoami", "MDSs", "total", "authmetaload", "allmetaload", "targets",
+    "WRstate", "RDstate", *OP_KINDS,
+})
+#: The decision bindings that are callables (persistent-state accessors).
+DECISION_FUNCTIONS: frozenset[str] = frozenset({"WRstate", "RDstate"})
+
 
 class _Unsupported(Exception):
     pass

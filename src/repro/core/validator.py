@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..luapolicy.errors import LuaBudgetExceeded, LuaError, LuaSyntaxError
+from ..luapolicy.parser import parse_chunk
 from .api import MantlePolicy
 from .environment import (
     build_decision_bindings,
@@ -34,6 +35,8 @@ class ValidationReport:
     policy_name: str
     problems: list[str] = field(default_factory=list)
     warnings: list[str] = field(default_factory=list)
+    #: Structured static-analysis findings (see :mod:`repro.analysis`).
+    diagnostics: tuple = ()
     #: Dry-run outputs, useful for eyeballing a new policy.
     sample_metaload: float | None = None
     sample_loads: list[float] = field(default_factory=list)
@@ -43,6 +46,46 @@ class ValidationReport:
     @property
     def ok(self) -> bool:
         return not self.problems
+
+    def add_problem(self, text: str) -> None:
+        if text not in self.problems:
+            self.problems.append(text)
+
+    def add_warning(self, text: str) -> None:
+        if text not in self.warnings:
+            self.warnings.append(text)
+
+
+def _attribute_decision_syntax(policy: MantlePolicy,
+                               exc: LuaSyntaxError) -> str:
+    """Name the hook (when vs where) a combined-chunk syntax error is in."""
+    try:
+        parse_chunk(policy.when)
+    except LuaSyntaxError as when_exc:
+        return f"when syntax: {when_exc}"
+    try:
+        parse_chunk(policy.where)
+    except LuaSyntaxError as where_exc:
+        return f"where syntax: {where_exc}"
+    return f"when/where syntax: {exc}"
+
+
+def _attribute_decision_runtime(policy: MantlePolicy,
+                                exc: LuaError) -> str:
+    """Map a combined-chunk runtime error line back to its hook.
+
+    ``decision_source`` lays the chunk out as the ``when`` lines, one
+    ``if go then`` guard line, then the ``where`` lines.
+    """
+    line = getattr(exc, "line", None)
+    if line is None:
+        return f"when/where runtime: {exc}"
+    when_lines = len(policy.when.split("\n"))
+    if line <= when_lines:
+        return f"when runtime (when:{line}): {exc}"
+    if line == when_lines + 1:  # the synthetic ``if go then`` guard
+        return f"when runtime (evaluating go): {exc}"
+    return f"where runtime (where:{line - when_lines - 1}): {exc}"
 
 
 def _sample_counters() -> dict[str, float]:
@@ -67,30 +110,46 @@ def _sample_cluster(num_ranks: int) -> list[dict]:
     return metrics
 
 
-def validate_policy(policy: MantlePolicy,
-                    num_ranks: int = 4) -> ValidationReport:
-    """Compile and dry-run *policy*; never raises on policy errors."""
+def validate_policy(policy: MantlePolicy, num_ranks: int = 4,
+                    lint: bool = True) -> ValidationReport:
+    """Compile and dry-run *policy*; never raises on policy errors.
+
+    With *lint* (the default) the static analyzer runs first and its
+    findings land both as structured :attr:`ValidationReport.diagnostics`
+    and as hook-attributed problem/warning strings.
+    """
     report = ValidationReport(policy_name=policy.name)
+
+    # 0. Static analysis (repro.analysis), ahead of any execution.
+    if lint:
+        from ..analysis import lint_policy
+        lint_report = lint_policy(policy, num_ranks=num_ranks,
+                                  budget=VALIDATION_BUDGET)
+        report.diagnostics = lint_report.diagnostics
+        for diag in lint_report.errors:
+            report.add_problem(f"lint: {diag.format()}")
+        for diag in lint_report.warnings:
+            report.add_warning(f"lint: {diag.format()}")
 
     # 1. Selectors must exist.
     if not policy.howmuch:
-        report.problems.append("howmuch lists no dirfrag selectors")
+        report.add_problem("howmuch lists no dirfrag selectors")
     for name in policy.howmuch:
         try:
             get_selector(name)
         except KeyError as exc:
-            report.problems.append(str(exc))
+            report.add_problem(f"howmuch: {exc}")
 
     # 2. Load formulas compile and produce numbers.
     try:
         metaload_fn = compile_metaload(policy.metaload)
         report.sample_metaload = metaload_fn(_sample_counters())
         if report.sample_metaload < 0:
-            report.warnings.append(
+            report.add_warning(
                 "metaload is negative on the sample snapshot"
             )
     except (LuaError, Exception) as exc:  # noqa: BLE001 - report everything
-        report.problems.append(f"metaload: {exc}")
+        report.add_problem(f"metaload: {exc}")
         metaload_fn = None
 
     cluster = _sample_cluster(num_ranks)
@@ -101,7 +160,7 @@ def validate_policy(policy: MantlePolicy,
             cluster[rank]["load"] = load
             report.sample_loads.append(load)
     except (LuaError, Exception) as exc:  # noqa: BLE001
-        report.problems.append(f"mdsload: {exc}")
+        report.add_problem(f"mdsload: {exc}")
         for rank in range(num_ranks):
             cluster[rank]["load"] = 0.0
 
@@ -109,7 +168,7 @@ def validate_policy(policy: MantlePolicy,
     try:
         chunk = policy.decision_chunk()
     except LuaSyntaxError as exc:
-        report.problems.append(f"when/where syntax: {exc}")
+        report.add_problem(_attribute_decision_syntax(policy, exc))
         return report
 
     state_slot: list = [None]
@@ -134,34 +193,36 @@ def validate_policy(policy: MantlePolicy,
         chunk.budget = VALIDATION_BUDGET
         result = chunk.run(bindings)
     except LuaBudgetExceeded:
-        report.problems.append(
-            f"decision chunk exceeded {VALIDATION_BUDGET} instructions on a "
-            f"{num_ranks}-rank dry run (unbounded loop?)"
+        report.add_problem(
+            f"when/where: decision chunk exceeded {VALIDATION_BUDGET} "
+            f"instructions on a {num_ranks}-rank dry run (unbounded loop?)"
         )
         return report
     except LuaError as exc:
-        report.problems.append(f"decision runtime: {exc}")
+        report.add_problem(_attribute_decision_runtime(policy, exc))
         return report
     finally:
         chunk.budget = saved_budget
 
     report.sample_go = result.global_value("go")
     if report.sample_go is None:
-        report.warnings.append(
-            "the when chunk never set 'go'; the policy will never migrate"
+        report.add_warning(
+            "when: the when chunk never set 'go'; the policy will never "
+            "migrate"
         )
     report.sample_targets = extract_targets(
         result.python_value("targets"), num_ranks
     )
     if report.sample_go and not report.sample_targets:
-        report.warnings.append(
-            "when fired on the sample cluster but where produced no targets"
+        report.add_warning(
+            "where: when fired on the sample cluster but where produced "
+            "no targets"
         )
     total = sum(report.sample_targets.values())
     my_load = cluster[0]["load"]
     if my_load and total > my_load * 1.5:
-        report.warnings.append(
-            f"targets ship {total:.1f} load but this rank only has "
+        report.add_warning(
+            f"where: targets ship {total:.1f} load but this rank only has "
             f"{my_load:.1f} (overshooting)"
         )
     return report

@@ -42,6 +42,9 @@ class PolicyVersion:
     source: str
     time: float
     note: str = ""
+    #: Static-analysis summary at commit time ("lint:clean", "lint:2E,1W",
+    #: or "" for commits that bypassed/preceded the linter).
+    lint: str = ""
 
 
 class PolicyStore:
@@ -75,7 +78,7 @@ class PolicyStore:
 
     # -- mutation -------------------------------------------------------
     def commit(self, policy: MantlePolicy, now: float,
-               note: str = "") -> PolicyVersion:
+               note: str = "", lint: str = "") -> PolicyVersion:
         """Record *policy* as the new head version."""
         record = PolicyVersion(
             version=len(self._versions) + 1,
@@ -83,6 +86,7 @@ class PolicyStore:
             source=dump_policy(policy),
             time=now,
             note=note,
+            lint=lint,
         )
         self._versions.append(record)
         self._mirror(record)
@@ -109,7 +113,7 @@ class PolicyStore:
             "head": record.version,
             "log": [
                 {"version": r.version, "name": r.name,
-                 "time": r.time, "note": r.note}
+                 "time": r.time, "note": r.note, "lint": r.lint}
                 for r in self._versions
             ],
         }

@@ -25,11 +25,16 @@ class LuaSyntaxError(LuaError):
 class LuaRuntimeError(LuaError):
     """Raised while executing policy code (type errors, bad indexing...)."""
 
-    def __init__(self, message: str, line: int | None = None) -> None:
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
         if line is not None:
-            message = f"{message} (line {line})"
+            if column:
+                message = f"{message} (line {line}, column {column})"
+            else:
+                message = f"{message} (line {line})"
         super().__init__(message)
         self.line = line
+        self.column = column
 
 
 class LuaBudgetExceeded(LuaError):

@@ -138,11 +138,13 @@ class Interpreter:
                 obj = self._eval(target.obj, env)
                 if not isinstance(obj, LuaTable):
                     raise LuaRuntimeError(
-                        f"attempt to index a {type_name(obj)} value", target.line
+                        f"attempt to index a {type_name(obj)} value",
+                        target.line, target.column,
                     )
                 obj.set(self._eval(target.key, env), value)
             else:  # pragma: no cover - parser rejects other targets
-                raise LuaRuntimeError("invalid assignment target", stmt.line)
+                raise LuaRuntimeError("invalid assignment target",
+                                      stmt.line, stmt.column)
 
     def _exec_LocalAssign(self, stmt: ast.LocalAssign, env: Environment) -> None:
         values = self._eval_list(stmt.values, env, len(stmt.names))
@@ -180,15 +182,17 @@ class Interpreter:
                 break
 
     def _exec_NumericFor(self, stmt: ast.NumericFor, env: Environment) -> None:
-        start = self._to_number(self._eval(stmt.start, env), stmt.line)
-        stop = self._to_number(self._eval(stmt.stop, env), stmt.line)
+        start = self._to_number(self._eval(stmt.start, env), stmt.line,
+                                stmt.column)
+        stop = self._to_number(self._eval(stmt.stop, env), stmt.line,
+                               stmt.column)
         step = (
-            self._to_number(self._eval(stmt.step, env), stmt.line)
+            self._to_number(self._eval(stmt.step, env), stmt.line, stmt.column)
             if stmt.step is not None
             else 1.0
         )
         if step == 0:
-            raise LuaRuntimeError("'for' step is zero", stmt.line)
+            raise LuaRuntimeError("'for' step is zero", stmt.line, stmt.column)
         value = start
         while (step > 0 and value <= stop) or (step < 0 and value >= stop):
             self._charge()
@@ -204,7 +208,8 @@ class Interpreter:
         iterable = self._eval(stmt.iterable, env)
         if not hasattr(iterable, "__iter__"):
             raise LuaRuntimeError(
-                "generic for expects pairs(t) or ipairs(t)", stmt.line
+                "generic for expects pairs(t) or ipairs(t)",
+                stmt.line, stmt.column,
             )
         for item in iterable:
             self._charge()
@@ -259,7 +264,8 @@ class Interpreter:
             self._charge()
             func = self._eval(expr.func, env)
             args = self._call_args(expr, env)
-            return self._call_multi(func, args, line=expr.line)
+            return self._call_multi(func, args, line=expr.line,
+                                    column=expr.column)
         return self._eval(expr, env)
 
     def _call_args(self, expr: ast.Call, env: Environment) -> tuple:
@@ -295,7 +301,8 @@ class Interpreter:
         return expr.value
 
     def _eval_Vararg(self, expr: ast.Vararg, env: Environment) -> LuaValue:
-        raise LuaRuntimeError("varargs are not supported in policies", expr.line)
+        raise LuaRuntimeError("varargs are not supported in policies",
+                              expr.line, expr.column)
 
     def _eval_Name(self, expr: ast.Name, env: Environment) -> LuaValue:
         return env.lookup(expr.name)
@@ -306,13 +313,15 @@ class Interpreter:
         if isinstance(obj, LuaTable):
             return obj.get(key)
         raise LuaRuntimeError(
-            f"attempt to index a {type_name(obj)} value", expr.line
+            f"attempt to index a {type_name(obj)} value",
+            expr.line, expr.column,
         )
 
     def _eval_Call(self, expr: ast.Call, env: Environment) -> LuaValue:
         func = self._eval(expr.func, env)
         args = self._call_args(expr, env)
-        result = self._call_multi(func, args, line=expr.line)
+        result = self._call_multi(func, args, line=expr.line,
+                                  column=expr.column)
         # A call in single-value context truncates to its first value.
         if isinstance(result, MultiValue):
             return result.first()
@@ -327,11 +336,13 @@ class Interpreter:
         return result
 
     def _call_multi(self, func: LuaValue, args: tuple[LuaValue, ...],
-                    line: int | None = None) -> LuaValue:
+                    line: int | None = None,
+                    column: int | None = None) -> LuaValue:
         """Invoke a function, preserving multiple return values."""
         if isinstance(func, LuaFunction):
             if self._call_depth >= self._max_call_depth:
-                raise LuaRuntimeError("call stack overflow in policy", line)
+                raise LuaRuntimeError("call stack overflow in policy",
+                                      line, column)
             scope = Environment(func.closure)
             for i, param in enumerate(func.params):
                 scope.declare(param, args[i] if i < len(args) else None)
@@ -351,15 +362,16 @@ class Interpreter:
             except (LuaRuntimeError, LuaBudgetExceeded):
                 raise
             except TypeError as exc:
-                raise LuaRuntimeError(f"bad call: {exc}", line) from exc
+                raise LuaRuntimeError(f"bad call: {exc}", line,
+                                      column) from exc
         raise LuaRuntimeError(
-            f"attempt to call a {type_name(func)} value", line
+            f"attempt to call a {type_name(func)} value", line, column
         )
 
     def _eval_UnaryOp(self, expr: ast.UnaryOp, env: Environment) -> LuaValue:
         operand = self._eval(expr.operand, env)
         if expr.op == "-":
-            return -self._to_number(operand, expr.line)
+            return -self._to_number(operand, expr.line, expr.column)
         if expr.op == "not":
             return not is_truthy(operand)
         if expr.op == "#":
@@ -369,9 +381,10 @@ class Interpreter:
                 return float(len(operand))
             raise LuaRuntimeError(
                 f"attempt to get length of a {type_name(operand)} value",
-                expr.line,
+                expr.line, expr.column,
             )
-        raise LuaRuntimeError(f"unknown unary operator {expr.op}", expr.line)
+        raise LuaRuntimeError(f"unknown unary operator {expr.op}",
+                              expr.line, expr.column)
 
     def _eval_BinaryOp(self, expr: ast.BinaryOp, env: Environment) -> LuaValue:
         op = expr.op
@@ -384,17 +397,17 @@ class Interpreter:
 
         left = self._eval(expr.left, env)
         right = self._eval(expr.right, env)
-        line = expr.line
+        line, col = expr.line, expr.column
         if op == "==":
             return self._lua_equals(left, right)
         if op == "~=":
             return not self._lua_equals(left, right)
         if op == "..":
-            return self._concat(left, right, line)
+            return self._concat(left, right, line, col)
         if op in ("<", "<=", ">", ">="):
-            return self._compare(op, left, right, line)
-        a = self._to_number(left, line)
-        b = self._to_number(right, line)
+            return self._compare(op, left, right, line, col)
+        a = self._to_number(left, line, col)
+        b = self._to_number(right, line, col)
         if op == "+":
             return a + b
         if op == "-":
@@ -412,7 +425,7 @@ class Interpreter:
             return a - math.floor(a / b) * b  # Lua modulo semantics
         if op == "^":
             return float(a) ** float(b)
-        raise LuaRuntimeError(f"unknown operator {op}", line)
+        raise LuaRuntimeError(f"unknown operator {op}", line, col)
 
     @staticmethod
     def _lua_equals(left: LuaValue, right: LuaValue) -> bool:
@@ -427,7 +440,7 @@ class Interpreter:
         return left == right
 
     def _compare(self, op: str, left: LuaValue, right: LuaValue,
-                 line: int) -> bool:
+                 line: int, column: int | None = None) -> bool:
         if isinstance(left, (int, float)) and not isinstance(left, bool) and \
            isinstance(right, (int, float)) and not isinstance(right, bool):
             pass
@@ -436,7 +449,7 @@ class Interpreter:
         else:
             raise LuaRuntimeError(
                 f"attempt to compare {type_name(left)} with {type_name(right)}",
-                line,
+                line, column,
             )
         if op == "<":
             return left < right
@@ -446,14 +459,16 @@ class Interpreter:
             return left > right
         return left >= right
 
-    def _concat(self, left: LuaValue, right: LuaValue, line: int) -> str:
+    def _concat(self, left: LuaValue, right: LuaValue, line: int,
+                column: int | None = None) -> str:
         def as_str(value: LuaValue) -> str:
             if isinstance(value, str):
                 return value
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 return lua_repr(float(value))
             raise LuaRuntimeError(
-                f"attempt to concatenate a {type_name(value)} value", line
+                f"attempt to concatenate a {type_name(value)} value",
+                line, column,
             )
 
         return as_str(left) + as_str(right)
@@ -477,11 +492,12 @@ class Interpreter:
 
     # -- coercion --------------------------------------------------------
     @staticmethod
-    def _to_number(value: LuaValue, line: int | None = None) -> float:
+    def _to_number(value: LuaValue, line: int | None = None,
+                   column: int | None = None) -> float:
         if isinstance(value, bool) or value is None:
             raise LuaRuntimeError(
                 f"attempt to perform arithmetic on a {type_name(value)} value",
-                line,
+                line, column,
             )
         if isinstance(value, (int, float)):
             return float(value)
@@ -491,7 +507,8 @@ class Interpreter:
             except ValueError:
                 pass
         raise LuaRuntimeError(
-            f"attempt to perform arithmetic on a {type_name(value)} value", line
+            f"attempt to perform arithmetic on a {type_name(value)} value",
+            line, column,
         )
 
 

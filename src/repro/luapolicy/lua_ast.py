@@ -1,7 +1,8 @@
 """AST node types for the Mantle-Lua policy language.
 
 Plain frozen dataclasses; the interpreter dispatches on the concrete type.
-Every node carries the source line for error reporting.
+Every node carries the source line and column for error reporting and for
+the static analyzer's diagnostics (``repro.analysis``).
 """
 
 from __future__ import annotations
@@ -13,6 +14,10 @@ from typing import Optional, Union
 @dataclass(frozen=True)
 class Node:
     line: int
+    #: 1-based source column of the token that started this node.  Keyword-only
+    #: so subclasses keep their positional field order (``column`` defaults to
+    #: 0 for synthetic nodes that have no source position).
+    column: int = field(default=0, kw_only=True)
 
 
 # --------------------------------------------------------------------------

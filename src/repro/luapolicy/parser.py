@@ -121,7 +121,7 @@ class Parser:
         return self._parse_expr_statement()
 
     def _parse_if(self) -> ast.If:
-        line = self._expect("keyword", "if").line
+        tok = self._expect("keyword", "if")
         branches: list[tuple[ast.Expr, ast.Block]] = []
         condition = self._parse_expr()
         self._expect("keyword", "then")
@@ -139,25 +139,25 @@ class Parser:
             else:
                 self._expect("keyword", "end")
                 break
-        return ast.If(line, tuple(branches), orelse)
+        return ast.If(tok.line, tuple(branches), orelse, column=tok.column)
 
     def _parse_while(self) -> ast.While:
-        line = self._expect("keyword", "while").line
+        tok = self._expect("keyword", "while")
         condition = self._parse_expr()
         self._expect("keyword", "do")
         body = self._parse_block()
         self._expect("keyword", "end")
-        return ast.While(line, condition, body)
+        return ast.While(tok.line, condition, body, column=tok.column)
 
     def _parse_repeat(self) -> ast.Repeat:
-        line = self._expect("keyword", "repeat").line
+        tok = self._expect("keyword", "repeat")
         body = self._parse_block()
         self._expect("keyword", "until")
         condition = self._parse_expr()
-        return ast.Repeat(line, body, condition)
+        return ast.Repeat(tok.line, body, condition, column=tok.column)
 
     def _parse_for(self) -> ast.Stmt:
-        line = self._expect("keyword", "for").line
+        tok = self._expect("keyword", "for")
         first = self._expect("name").value
         if self._match("symbol", "="):
             start = self._parse_expr()
@@ -167,7 +167,8 @@ class Parser:
             self._expect("keyword", "do")
             body = self._parse_block()
             self._expect("keyword", "end")
-            return ast.NumericFor(line, first, start, stop, step, body)
+            return ast.NumericFor(tok.line, first, start, stop, step, body,
+                                  column=tok.column)
         names = [first]
         while self._match("symbol", ","):
             names.append(self._expect("name").value)
@@ -176,32 +177,37 @@ class Parser:
         self._expect("keyword", "do")
         body = self._parse_block()
         self._expect("keyword", "end")
-        return ast.GenericFor(line, tuple(names), iterable, body)
+        return ast.GenericFor(tok.line, tuple(names), iterable, body,
+                              column=tok.column)
 
     def _parse_local(self) -> ast.Stmt:
-        line = self._expect("keyword", "local").line
+        tok = self._expect("keyword", "local")
         if self._check("keyword", "function"):
             self._advance()
             name = self._expect("name").value
-            func = self._parse_function_body(line)
-            return ast.FunctionDecl(line, name, func, is_local=True)
+            func = self._parse_function_body(tok.line, tok.column)
+            return ast.FunctionDecl(tok.line, name, func, is_local=True,
+                                    column=tok.column)
         names = [self._expect("name").value]
         while self._match("symbol", ","):
             names.append(self._expect("name").value)
         values: tuple[ast.Expr, ...] = ()
         if self._match("symbol", "="):
             values = tuple(self._parse_expr_list())
-        return ast.LocalAssign(line, tuple(names), values)
+        return ast.LocalAssign(tok.line, tuple(names), values,
+                               column=tok.column)
 
     def _parse_function_decl(self) -> ast.FunctionDecl:
-        line = self._expect("keyword", "function").line
+        tok = self._expect("keyword", "function")
         name = self._expect("name").value
         if self._check("symbol", ".") or self._check("symbol", ":"):
             raise self._error("method definitions are not supported in policies")
-        func = self._parse_function_body(line)
-        return ast.FunctionDecl(line, name, func, is_local=False)
+        func = self._parse_function_body(tok.line, tok.column)
+        return ast.FunctionDecl(tok.line, name, func, is_local=False,
+                                column=tok.column)
 
-    def _parse_function_body(self, line: int) -> ast.FunctionExpr:
+    def _parse_function_body(self, line: int,
+                             column: int = 0) -> ast.FunctionExpr:
         self._expect("symbol", "(")
         params: list[str] = []
         if not self._check("symbol", ")"):
@@ -214,10 +220,10 @@ class Parser:
         self._expect("symbol", ")")
         body = self._parse_block()
         self._expect("keyword", "end")
-        return ast.FunctionExpr(line, tuple(params), body)
+        return ast.FunctionExpr(line, tuple(params), body, column=column)
 
     def _parse_return(self) -> ast.Return:
-        line = self._expect("keyword", "return").line
+        tok = self._expect("keyword", "return")
         values: tuple[ast.Expr, ...] = ()
         token = self._current
         ends_block = (
@@ -227,20 +233,20 @@ class Parser:
         )
         if not ends_block:
             values = tuple(self._parse_expr_list())
-        return ast.Return(line, values)
+        return ast.Return(tok.line, values, column=tok.column)
 
     def _parse_break(self) -> ast.Break:
-        line = self._expect("keyword", "break").line
-        return ast.Break(line)
+        tok = self._expect("keyword", "break")
+        return ast.Break(tok.line, column=tok.column)
 
     def _parse_do(self) -> ast.Do:
-        line = self._expect("keyword", "do").line
+        tok = self._expect("keyword", "do")
         body = self._parse_block()
         self._expect("keyword", "end")
-        return ast.Do(line, body)
+        return ast.Do(tok.line, body, column=tok.column)
 
     def _parse_expr_statement(self) -> ast.Stmt:
-        line = self._current.line
+        start = self._current
         expr = self._parse_prefix_expr()
         if self._check("symbol", "=") or self._check("symbol", ","):
             targets = [expr]
@@ -251,9 +257,10 @@ class Parser:
             for target in targets:
                 if not isinstance(target, (ast.Name, ast.Index)):
                     raise self._error("cannot assign to this expression")
-            return ast.Assign(line, tuple(targets), tuple(values))
+            return ast.Assign(start.line, tuple(targets), tuple(values),
+                              column=start.column)
         if isinstance(expr, ast.Call):
-            return ast.CallStmt(line, expr)
+            return ast.CallStmt(start.line, expr, column=start.column)
         raise self._error("expression is not a statement (call it or assign it)")
 
     def _parse_expr_list(self) -> list[ast.Expr]:
@@ -280,7 +287,8 @@ class Parser:
             self._advance()
             next_min = precedence if op in _RIGHT_ASSOCIATIVE else precedence + 1
             right = self._parse_expr(next_min)
-            left = ast.BinaryOp(token.line, op, left, right)
+            left = ast.BinaryOp(token.line, op, left, right,
+                                column=token.column)
         return left
 
     def _parse_unary(self) -> ast.Expr:
@@ -290,7 +298,8 @@ class Parser:
         ):
             self._advance()
             operand = self._parse_expr(_UNARY_PRECEDENCE)
-            return ast.UnaryOp(token.line, token.value, operand)
+            return ast.UnaryOp(token.line, token.value, operand,
+                               column=token.column)
         return self._parse_power()
 
     def _parse_power(self) -> ast.Expr:
@@ -299,7 +308,8 @@ class Parser:
             token = self._advance()
             # '^' binds tighter than unary on its right: 2^-3 is 2^(-3).
             exponent = self._parse_unary()
-            return ast.BinaryOp(token.line, "^", base, exponent)
+            return ast.BinaryOp(token.line, "^", base, exponent,
+                                column=token.column)
         return base
 
     def _parse_primary(self) -> ast.Expr:
@@ -308,25 +318,27 @@ class Parser:
             self._advance()
             text = token.value
             value = float(int(text, 16)) if text.lower().startswith("0x") else float(text)
-            return ast.NumberLiteral(token.line, value)
+            return ast.NumberLiteral(token.line, value, column=token.column)
         if token.kind == "string":
             self._advance()
-            return ast.StringLiteral(token.line, token.value)
+            return ast.StringLiteral(token.line, token.value,
+                                     column=token.column)
         if token.kind == "keyword":
             if token.value == "nil":
                 self._advance()
-                return ast.NilLiteral(token.line)
+                return ast.NilLiteral(token.line, column=token.column)
             if token.value in ("true", "false"):
                 self._advance()
-                return ast.BoolLiteral(token.line, token.value == "true")
+                return ast.BoolLiteral(token.line, token.value == "true",
+                                       column=token.column)
             if token.value == "function":
                 self._advance()
-                return self._parse_function_body(token.line)
+                return self._parse_function_body(token.line, token.column)
         if token.kind == "symbol" and token.value == "{":
             return self._parse_table()
         if token.kind == "symbol" and token.value == "...":
             self._advance()
-            return ast.Vararg(token.line)
+            return ast.Vararg(token.line, column=token.column)
         return self._parse_prefix_expr()
 
     def _parse_prefix_expr(self) -> ast.Expr:
@@ -334,7 +346,7 @@ class Parser:
         expr: ast.Expr
         if token.kind == "name":
             self._advance()
-            expr = ast.Name(token.line, token.value)
+            expr = ast.Name(token.line, token.value, column=token.column)
         elif self._match("symbol", "("):
             expr = self._parse_expr()
             self._expect("symbol", ")")
@@ -346,11 +358,14 @@ class Parser:
             if self._match("symbol", "["):
                 key = self._parse_expr()
                 self._expect("symbol", "]")
-                expr = ast.Index(token.line, expr, key)
+                expr = ast.Index(token.line, expr, key, column=token.column)
             elif self._match("symbol", "."):
                 name = self._expect("name")
                 expr = ast.Index(
-                    token.line, expr, ast.StringLiteral(name.line, name.value)
+                    token.line, expr,
+                    ast.StringLiteral(name.line, name.value,
+                                      column=name.column),
+                    column=token.column,
                 )
             elif self._check("symbol", "("):
                 expr = self._parse_call(expr)
@@ -359,10 +374,12 @@ class Parser:
                 arg: ast.Expr
                 if self._check("string"):
                     stoken = self._advance()
-                    arg = ast.StringLiteral(stoken.line, stoken.value)
+                    arg = ast.StringLiteral(stoken.line, stoken.value,
+                                            column=stoken.column)
                 else:
                     arg = self._parse_table()
-                expr = ast.Call(token.line, expr, (arg,))
+                expr = ast.Call(token.line, expr, (arg,),
+                                column=token.column)
             elif self._check("symbol", ":"):
                 raise self._error("method calls are not supported in policies")
             else:
@@ -374,7 +391,7 @@ class Parser:
         if not self._check("symbol", ")"):
             args = self._parse_expr_list()
         self._expect("symbol", ")")
-        return ast.Call(token.line, func, tuple(args))
+        return ast.Call(token.line, func, tuple(args), column=token.column)
 
     def _parse_table(self) -> ast.TableConstructor:
         token = self._expect("symbol", "{")
@@ -394,15 +411,18 @@ class Parser:
                 name = self._advance()
                 self._advance()  # '='
                 value = self._parse_expr()
-                fields.append(
-                    ast.TableField(ast.StringLiteral(name.line, name.value), value)
-                )
+                fields.append(ast.TableField(
+                    ast.StringLiteral(name.line, name.value,
+                                      column=name.column),
+                    value,
+                ))
             else:
                 fields.append(ast.TableField(None, self._parse_expr()))
             if not (self._match("symbol", ",") or self._match("symbol", ";")):
                 break
         self._expect("symbol", "}")
-        return ast.TableConstructor(token.line, tuple(fields))
+        return ast.TableConstructor(token.line, tuple(fields),
+                                    column=token.column)
 
 
 def parse_chunk(source: str) -> ast.Block:

@@ -356,6 +356,42 @@ def _stdlib_vars() -> dict[str, LuaValue]:
     }
 
 
+def _table_member_names(table: LuaTable) -> frozenset[str]:
+    return frozenset(key for key, _value in table.lua_pairs()
+                     if isinstance(key, str))
+
+
+#: The complete sandbox whitelist, derived from the live environment so the
+#: static analyzer (repro.analysis) can never drift from what the runtime
+#: actually installs.  ``SANDBOX_GLOBALS`` is every global name the stdlib
+#: binds; ``SANDBOX_TABLE_MEMBERS`` maps each library table to its member
+#: names (``math`` -> {"floor", ...}).
+SANDBOX_GLOBALS: frozenset[str] = frozenset(_stdlib_vars())
+SANDBOX_TABLE_MEMBERS: dict[str, frozenset[str]] = {
+    name: _table_member_names(value)
+    for name, value in _stdlib_vars().items()
+    if isinstance(value, LuaTable)
+}
+
+#: Well-known Lua 5.1 stdlib names deliberately *absent* from the sandbox:
+#: they are non-deterministic, reach outside the policy, or can subvert the
+#: environment.  The determinism lint rule and the runtime agree on these
+#: by construction (tests/analysis/test_purity_rules.py asserts it).
+FORBIDDEN_STDLIB_GLOBALS: frozenset[str] = frozenset({
+    "os", "io", "print", "require", "dofile", "load", "loadstring",
+    "loadfile", "pcall", "xpcall", "select", "rawget", "rawset",
+    "rawequal", "setmetatable", "getmetatable", "getfenv", "setfenv",
+    "collectgarbage", "coroutine", "package", "debug", "unpack", "next",
+    "_G",
+})
+#: Forbidden members of whitelisted library tables (the table is in the
+#: sandbox, the member is not).
+FORBIDDEN_STDLIB_MEMBERS: frozenset[str] = frozenset({
+    "math.random", "math.randomseed", "string.dump", "string.gmatch",
+    "string.gsub", "string.match", "table.getn", "table.setn",
+})
+
+
 #: Prototype stdlib bindings, built once.  ``new_environment`` clones the
 #: mutable tables (math/string/table) so one run's mutations cannot leak
 #: into the next; the builtins themselves are stateless callables.

@@ -69,6 +69,12 @@ class RunSpec:
     canary_policy: str = "none"
     canary_at: float = 30.0
     canary_window: float = 20.0
+    #: Gate injected policies behind the static analyzer
+    #: (repro.analysis).  Lint is pure bookkeeping -- results are
+    #: byte-identical either way -- but the flag is part of the spec (and
+    #: hence the cache fingerprint) because a lint-failing policy errors
+    #: with lint=True and runs with lint=False.
+    lint: bool = True
 
 
 def build_specs(seeds: list[int], policies: list[str],
@@ -154,7 +160,8 @@ def execute_spec(spec: RunSpec) -> dict[str, Any]:
                            stability_guard=spec.guard)
     policy = (STOCK_POLICIES[spec.policy]()
               if spec.policy != "none" else None)
-    cluster = SimulatedCluster(config, policy=policy)
+    cluster = SimulatedCluster(config, policy=policy,
+                               lint_policies=spec.lint)
     arm_lifecycle(cluster, spec)
     report = cluster.run_workload(_build_workload(spec),
                                   max_time=spec.max_time)

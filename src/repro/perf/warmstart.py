@@ -36,7 +36,6 @@ import select
 import signal
 import sys
 import traceback
-from collections import deque
 from dataclasses import replace
 from typing import Any, Callable, Hashable, Iterable, Iterator
 
@@ -308,7 +307,8 @@ def run_sweep_forked(specs: list, jobs: int = 1) -> list[dict[str, Any]]:
     def execute(cluster: SimulatedCluster, plan: CellPlan):
         spec = plan.payload
         if spec.policy != "none":
-            cluster.set_policy(STOCK_POLICIES[spec.policy]())
+            cluster.set_policy(STOCK_POLICIES[spec.policy](),
+                               lint=spec.lint)
         arm_lifecycle(cluster, spec)
         report = cluster.finish_workload()
         return spec_record(spec, report)

@@ -1,0 +1,23 @@
+"""Shared helpers for the static-analysis test suite."""
+
+import pytest
+
+from repro.analysis import lint_policy
+from repro.core.api import MantlePolicy
+
+
+@pytest.fixture
+def lint():
+    """lint(policy_or_kwargs) -> list of fired rule ids (with report)."""
+
+    def _lint(policy=None, **kwargs):
+        if policy is None:
+            kwargs.setdefault("name", "test")
+            policy = MantlePolicy(**kwargs)
+        return lint_policy(policy)
+
+    return _lint
+
+
+def rules(report):
+    return [diag.rule for diag in report.diagnostics]

@@ -1,0 +1,5 @@
+-- expect: M001 when 1 6
+-- @name m001-syntax-error
+-- @when
+go = = 1
+-- @where

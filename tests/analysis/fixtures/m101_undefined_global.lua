@@ -1,0 +1,5 @@
+-- expect: M101 when 1 6
+-- @name m101-undefined-global
+-- @when
+go = zork > 5
+-- @where

@@ -1,0 +1,5 @@
+-- expect: M102 when 1 6
+-- @name m102-misspelled-binding
+-- @when
+go = allmetalod > 10
+-- @where

@@ -1,0 +1,8 @@
+-- expect: M103 when 4 6
+-- @name m103-use-before-def
+-- @when
+if whoami == 1 then
+  boost = 2
+end
+go = boost ~= nil
+-- @where

@@ -1,0 +1,6 @@
+-- expect: M104 when 1 1
+-- @name m104-dead-write
+-- @when
+unused = 42
+go = false
+-- @where

@@ -1,0 +1,6 @@
+-- expect: M105 when 1 1
+-- @name m105-binding-overwrite
+-- @when
+whoami = 1
+go = false
+-- @where

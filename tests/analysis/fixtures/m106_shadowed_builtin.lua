@@ -1,0 +1,6 @@
+-- expect: M106 when 2 6
+-- @name m106-shadowed-builtin
+-- @when
+max = 0
+go = max(1, 2) > 0
+-- @where

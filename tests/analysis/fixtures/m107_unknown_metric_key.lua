@@ -1,0 +1,5 @@
+-- expect: M107 when 1 19
+-- @name m107-unknown-metric-key
+-- @when
+go = MDSs[whoami]["lod"] > 1
+-- @where

@@ -1,0 +1,7 @@
+-- expect: M201 metaload 1 -
+-- @name m201-hook-return-type
+-- @metaload
+"hot"
+-- @when
+go = false
+-- @where

@@ -1,0 +1,5 @@
+-- expect: M202 when 1 1
+-- @name m202-go-not-boolean
+-- @when
+go = 1
+-- @where

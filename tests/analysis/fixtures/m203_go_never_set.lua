@@ -1,0 +1,6 @@
+-- expect: M203 when - -
+-- @name m203-go-never-set
+-- @when
+pressure = authmetaload + 1
+-- @where
+targets[1] = pressure

@@ -1,0 +1,6 @@
+-- expect: M204 where 1 8
+-- @name m204-targets-index-range
+-- @when
+go = true
+-- @where
+targets[0] = 10

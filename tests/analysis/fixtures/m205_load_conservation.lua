@@ -1,0 +1,6 @@
+-- expect: M205 where 1 8
+-- @name m205-load-conservation
+-- @when
+go = true
+-- @where
+targets[2] = MDSs[whoami]["load"] * 2

@@ -1,0 +1,6 @@
+-- expect: M301 when 1 1
+-- @name m301-infinite-loop
+-- @when
+while true do end
+go = false
+-- @where

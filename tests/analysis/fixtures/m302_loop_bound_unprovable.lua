@@ -1,0 +1,9 @@
+-- expect: M302 when 2 1
+-- @name m302-loop-bound-unprovable
+-- @when
+x = 10
+while x > 0 do
+  x = RDstate()
+end
+go = false
+-- @where

@@ -1,0 +1,9 @@
+-- expect: M303 when 2 1
+-- @name m303-loop-budget
+-- @when
+s = 0
+for i = 1, 1000000 do
+  s = s + i
+end
+go = s > 0
+-- @where

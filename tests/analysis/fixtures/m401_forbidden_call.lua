@@ -1,0 +1,5 @@
+-- expect: M401 when 1 6
+-- @name m401-forbidden-call
+-- @when
+go = os.time() > 0
+-- @where

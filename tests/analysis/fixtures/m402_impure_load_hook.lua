@@ -1,0 +1,7 @@
+-- expect: M402 metaload 1 1
+-- @name m402-impure-load-hook
+-- @metaload
+RDstate("x") + IRD
+-- @when
+go = false
+-- @where

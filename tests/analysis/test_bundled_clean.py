@@ -1,0 +1,49 @@
+"""Every bundled policy and shipped example must lint clean.
+
+This is the suite that keeps the analyzer honest in the no-false-positive
+direction: the stock policies exercise loops over ``#MDSs``, persistent
+state, Lua and/or idioms, and the full decision environment.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_policy
+from repro.cli import main
+from repro.core.policies import STOCK_POLICIES
+from repro.core.policyfile import load_policy_file
+
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLE_POLICIES = sorted((REPO / "examples" / "policies").glob("*.lua"))
+
+
+@pytest.mark.parametrize("name", sorted(STOCK_POLICIES))
+def test_stock_policy_lints_clean(name):
+    report = lint_policy(STOCK_POLICIES[name]())
+    assert report.diagnostics == (), report.render()
+    assert report.summary() == "lint:clean"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_POLICIES,
+                         ids=lambda p: p.stem)
+def test_example_policy_lints_clean(path):
+    report = lint_policy(load_policy_file(path))
+    assert report.diagnostics == (), report.render()
+
+
+def test_example_policies_exist():
+    assert EXAMPLE_POLICIES, "examples/policies/*.lua disappeared"
+
+
+def test_cli_lint_all_bundled(capsys):
+    targets = sorted(STOCK_POLICIES) + [str(p) for p in EXAMPLE_POLICIES]
+    assert main(["lint", *targets]) == 0
+    out = capsys.readouterr().out
+    assert "greedy-spill: clean" in out
+
+
+def test_cli_strict_mode_on_bundled(capsys):
+    # Not even warnings: the bundled set is strictly clean.
+    assert main(["lint", "--strict", *sorted(STOCK_POLICIES)]) == 0
+    capsys.readouterr()

@@ -1,0 +1,95 @@
+"""Structural tests for the control-flow graph builder."""
+
+from repro.analysis.cfg import build_cfg, build_decision_cfg
+from repro.luapolicy.parser import parse_chunk
+
+
+def _kinds(cfg):
+    return [node.kind for node in cfg.nodes]
+
+
+def _reachable(cfg, start):
+    seen, stack = set(), [start]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(cfg.nodes[node].succs)
+    return seen
+
+
+def test_straight_line_chain():
+    cfg = build_cfg(parse_chunk("a = 1\nb = a + 1"), "when")
+    assert _kinds(cfg) == ["entry", "stmt", "stmt", "exit"]
+    assert cfg.nodes[cfg.entry].succs == [1]
+    assert cfg.nodes[1].succs == [2]
+    assert cfg.nodes[2].succs == [cfg.exit]
+
+
+def test_if_else_branches_rejoin():
+    cfg = build_cfg(parse_chunk(
+        "if x > 0 then a = 1 else a = 2 end\nb = a"), "when")
+    cond = next(n for n in cfg.nodes if n.kind == "cond")
+    assert len(cond.succs) == 2
+    after = next(n for n in cfg.nodes
+                 if n.defs and n.defs[0].name == "b")
+    # Both arms flow into the statement after the if.
+    for succ in cond.succs:
+        assert after.id in _reachable(cfg, succ)
+
+
+def test_if_without_else_has_fallthrough_edge():
+    cfg = build_cfg(parse_chunk("if x > 0 then a = 1 end"), "when")
+    cond = next(n for n in cfg.nodes if n.kind == "cond")
+    assert cfg.exit in cond.succs or any(
+        cfg.exit in cfg.nodes[s].succs for s in cond.succs)
+    # The false edge must not pass through the assignment.
+    assert len(cond.succs) == 2
+
+
+def test_while_has_back_edge():
+    cfg = build_cfg(parse_chunk("while x > 0 do x = x - 1 end"), "when")
+    cond = next(n for n in cfg.nodes if n.kind == "cond")
+    body = next(n for n in cfg.nodes
+                if n.defs and n.defs[0].name == "x")
+    assert cond.id in _reachable(cfg, body.id)  # loop back edge
+    assert cfg.exit in cond.succs  # loop exit edge
+
+
+def test_break_leaves_loop():
+    cfg = build_cfg(parse_chunk(
+        "while true do break end\ny = 1"), "when")
+    brk = next(n for n in cfg.nodes
+               if n.kind == "stmt" and not n.defs and not n.uses
+               and n.stmt is not None)
+    after = next(n for n in cfg.nodes
+                 if n.defs and n.defs[0].name == "y")
+    assert after.id in _reachable(cfg, brk.id)
+
+
+def test_return_has_no_successor_in_block():
+    cfg = build_cfg(parse_chunk("return 1\n"), "when")
+    ret = next(n for n in cfg.nodes if n.kind == "stmt")
+    assert ret.succs == [cfg.exit]
+
+
+def test_numeric_for_defines_loop_var():
+    cfg = build_cfg(parse_chunk(
+        "for i = 1, 4 do t = i end"), "when")
+    head = next(n for n in cfg.nodes if n.kind == "forhead")
+    assert [d.name for d in head.defs] == ["i"]
+    assert [d.kind for d in head.defs] == ["for"]
+
+
+def test_decision_cfg_synthetic_go_guard():
+    cfg = build_decision_cfg(parse_chunk("go = total > 1"),
+                             parse_chunk("targets[1] = 5"))
+    guard = next(n for n in cfg.nodes if n.synthetic)
+    assert guard.kind == "cond"
+    assert [u.name for u in guard.uses] == ["go"]
+    # when hook flows into the guard; where only on the true edge.
+    hooks = {n.id: n.hook for n in cfg.nodes}
+    assert {hooks[s] for s in guard.succs if cfg.nodes[s].kind == "stmt"} \
+        == {"where"}
+    assert cfg.exit in _reachable(cfg, guard.id)

@@ -1,0 +1,104 @@
+"""Hook-contract rules (M107, M2xx): the abstract interpreter's verdicts."""
+
+from .conftest import rules
+
+
+# -- M201: load hooks must produce a number ---------------------------------
+
+def test_metaload_string_result_fires(lint):
+    report = lint(metaload='"hot"')
+    assert rules(report) == ["M201"]
+
+
+def test_metaload_expression_is_clean(lint):
+    report = lint(metaload="IRD + 2*IWR + READDIR")
+    assert rules(report) == []
+
+
+def test_metaload_chunk_form_is_clean(lint):
+    # environment.compile_metaload falls back to chunk + output global.
+    report = lint(metaload="metaload = IRD * 2\nreturn metaload")
+    assert rules(report) == []
+
+
+def test_mdsload_boolean_result_fires(lint):
+    report = lint(mdsload='MDSs[i]["all"] > 0')
+    assert rules(report) == ["M201"]
+
+
+# -- M202/M203: the `go` contract -------------------------------------------
+
+def test_go_number_fires_m202(lint):
+    report = lint(when="go = 1")
+    assert rules(report) == ["M202"]
+
+
+def test_go_comparison_is_clean(lint):
+    report = lint(when="go = total > 10")
+    assert rules(report) == []
+
+
+def test_go_lua_and_or_idiom_is_clean(lint):
+    # `x > 1 and true or false` -- boolean through Lua's and/or typing.
+    report = lint(when="go = total > 1 and true or false")
+    assert rules(report) == []
+
+
+def test_go_never_set_fires_m203(lint):
+    report = lint(when="pressure = authmetaload + 1",
+                  where="targets[1] = pressure")
+    assert "M203" in rules(report)
+
+
+# -- M204: targets index provably in range ----------------------------------
+
+def test_targets_zero_index_fires(lint):
+    report = lint(when="go = true", where="targets[0] = 10")
+    assert "M204" in rules(report)
+
+
+def test_targets_loop_over_mds_count_is_clean(lint):
+    report = lint(when="go = true",
+                  where="for i = 1, #MDSs do targets[i] = 0 end")
+    assert rules(report) == []
+
+
+def test_targets_whoami_is_clean(lint):
+    report = lint(when="go = true",
+                  where="targets[whoami] = total / 2")
+    assert rules(report) == []
+
+
+def test_targets_string_key_fires(lint):
+    report = lint(when="go = true", where='targets["a"] = 1')
+    assert "M204" in rules(report)
+
+
+# -- M205: load conservation ------------------------------------------------
+
+def test_shipping_double_own_load_fires(lint):
+    report = lint(when="go = true",
+                  where='targets[2] = MDSs[whoami]["load"] * 2')
+    assert "M205" in rules(report)
+
+
+def test_shipping_half_own_load_is_clean(lint):
+    # cold-standby shape: move half of my load to a spare rank.
+    report = lint(when="target = 2\ngo = total > 0",
+                  where='targets[target] = MDSs[whoami]["load"] / 2')
+    assert rules(report) == []
+
+
+# -- M107: unknown MDS metric keys ------------------------------------------
+
+def test_unknown_metric_key_fires_with_hint(lint):
+    report = lint(when='go = MDSs[whoami]["lod"] > 1')
+    assert "M107" in rules(report)
+    (diag,) = report.diagnostics
+    assert "load" in diag.hint
+
+
+def test_known_metric_keys_are_clean(lint):
+    report = lint(when='go = MDSs[whoami]["load"] + '
+                       'MDSs[whoami]["alive"] > 1')
+    assert rules(report) == []

@@ -1,0 +1,90 @@
+"""Def-use rules (M101-M106): fire on broken code, stay quiet on idioms."""
+
+from .conftest import rules
+
+
+def test_undefined_global_fires(lint):
+    report = lint(when="go = zork > 5")
+    assert "M101" in rules(report)
+    (diag,) = [d for d in report.diagnostics if d.rule == "M101"]
+    assert diag.hook == "when"
+    assert (diag.line, diag.column) == (1, 6)
+
+
+def test_defined_then_used_is_clean(lint):
+    report = lint(when="x = total\ngo = x > 5")
+    assert rules(report) == []
+
+
+def test_misspelled_binding_suggests_fix(lint):
+    report = lint(when="go = allmetalod > 10")
+    assert "M102" in rules(report)
+    (diag,) = report.diagnostics
+    assert "allmetaload" in diag.hint
+
+
+def test_use_before_def_across_branches(lint):
+    report = lint(when="if whoami == 1 then boost = 2 end\n"
+                       "go = boost ~= nil")
+    assert rules(report) == ["M103"]
+
+
+def test_both_branches_defining_is_clean(lint):
+    report = lint(when="if whoami == 1 then boost = 2 "
+                       "else boost = 0 end\ngo = boost > 1")
+    assert rules(report) == []
+
+
+def test_loop_carried_use_resolves_via_back_edge(lint):
+    report = lint(when="x = 0\nwhile x < 3 do x = x + 1 end\n"
+                       "go = x > 0")
+    assert rules(report) == []
+
+
+def test_where_sees_when_locals(lint):
+    # Listing 2 idiom: `when` discovers the target, `where` uses it.
+    report = lint(when="target = 2\ngo = total > 0",
+                  where="targets[target] = total / 2")
+    assert rules(report) == []
+
+
+def test_dead_write_fires(lint):
+    report = lint(when="unused = 42\ngo = total > 5")
+    assert rules(report) == ["M104"]
+
+
+def test_underscore_names_exempt_from_dead_write(lint):
+    report = lint(when="_scratch = 42\ngo = total > 5")
+    assert rules(report) == []
+
+
+def test_go_is_never_a_dead_write(lint):
+    # `go` is read by the harness, not the chunk.
+    report = lint(when="go = true")
+    assert rules(report) == []
+
+
+def test_binding_overwrite_fires(lint):
+    report = lint(when="whoami = 1\ngo = whoami > 0")
+    assert "M105" in rules(report)
+
+
+def test_shadowed_builtin_call_fires(lint):
+    report = lint(when="max = 0\ngo = max(1, 2) > 0")
+    assert "M106" in rules(report)
+
+
+def test_reassigned_builtin_to_function_is_not_m106(lint):
+    # Aliasing one callable to another stays callable.
+    report = lint(when="pick = max\ngo = pick(1, total) > 0")
+    assert "M106" not in rules(report)
+
+
+def test_mdsload_env_has_i(lint):
+    report = lint(mdsload='MDSs[i]["all"] + MDSs[i]["q"]')
+    assert rules(report) == []
+
+
+def test_metaload_env_rejects_decision_bindings(lint):
+    report = lint(metaload="IRD + total")
+    assert "M101" in rules(report)

@@ -1,0 +1,94 @@
+"""Regression fixtures: every lint rule fires on its broken policy.
+
+Each ``tests/analysis/fixtures/mXXX_*.lua`` is a deliberately broken
+policy whose expected findings are declared in ``-- expect:`` header
+lines (``rule hook line column``, with ``-`` as a wildcard).  The test
+asserts each expectation matches a reported diagnostic exactly --
+including the line/column, so position tracking through the lexer,
+parser and analyzer stays honest.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, lint_policy
+from repro.cli import main
+from repro.core.policyfile import load_policy_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+FIXTURE_FILES = sorted(FIXTURES.glob("*.lua"))
+
+
+def _expectations(path: Path) -> list[tuple[str, str, object, object]]:
+    out = []
+    for line in path.read_text().splitlines():
+        if not line.startswith("-- expect:"):
+            continue
+        rule, hook, lineno, column = line.removeprefix("-- expect:").split()
+        out.append((
+            rule, hook,
+            None if lineno == "-" else int(lineno),
+            None if column == "-" else int(column),
+        ))
+    return out
+
+
+def test_fixture_inventory():
+    """At least one fixture per rule in the catalogue."""
+    covered = {expect[0] for path in FIXTURE_FILES
+               for expect in _expectations(path)}
+    assert covered == set(RULES), sorted(set(RULES) - covered)
+
+
+@pytest.mark.parametrize(
+    "path", FIXTURE_FILES, ids=lambda p: p.stem)
+def test_fixture_fires_expected_rule(path):
+    expectations = _expectations(path)
+    assert expectations, f"{path.name} declares no -- expect: lines"
+    report = lint_policy(load_policy_file(path))
+    found = [(d.rule, d.hook, d.line, d.column) for d in report.diagnostics]
+    for rule, hook, line, column in expectations:
+        matches = [f for f in found if f[0] == rule and f[1] == hook]
+        assert matches, (
+            f"{path.name}: {rule} in hook {hook!r} did not fire; "
+            f"got {found}")
+        if line is not None:
+            assert any(f[2] == line for f in matches), \
+                f"{path.name}: {rule} fired at lines " \
+                f"{[f[2] for f in matches]}, expected {line}"
+        if column is not None:
+            assert any(f[2:] == (line, column) for f in matches), \
+                f"{path.name}: {rule} fired at {matches}, " \
+                f"expected {line}:{column}"
+
+
+@pytest.mark.parametrize(
+    "path", FIXTURE_FILES, ids=lambda p: p.stem)
+def test_fixture_fails_strict_lint(path):
+    """Every fixture is a failure under --strict (CI's fixture mode)."""
+    report = lint_policy(load_policy_file(path))
+    assert report.diagnostics, f"{path.name} linted clean"
+
+
+def test_cli_expect_fail_mode(capsys):
+    files = [str(path) for path in FIXTURE_FILES]
+    assert main(["lint", "--strict", "--expect-fail", *files]) == 0
+    capsys.readouterr()
+    # A clean policy in the list must flip the status to 1.
+    assert main(["lint", "--strict", "--expect-fail",
+                 "greedy-spill", *files]) == 1
+    err = capsys.readouterr().err
+    assert "greedy-spill" in err
+
+
+def test_cli_json_format(capsys):
+    import json
+
+    assert main(["lint", "--format", "json",
+                 str(FIXTURES / "m101_undefined_global.lua")]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["ok"] is False
+    assert payload[0]["diagnostics"][0]["rule"] == "M101"
+    assert payload[0]["diagnostics"][0]["line"] == 1
+    assert payload[0]["diagnostics"][0]["column"] == 6

@@ -1,0 +1,58 @@
+"""Loop-bound and cost rules (M301-M303)."""
+
+from .conftest import rules
+
+
+def test_while_true_fires_m301(lint):
+    report = lint(when="while true do end\ngo = false")
+    assert "M301" in rules(report)
+
+
+def test_while_true_with_break_is_clean(lint):
+    report = lint(when="x = 0\nwhile true do x = x + 1\n"
+                       "if x > 3 then break end end\ngo = x > 0")
+    assert rules(report) == []
+
+
+def test_condition_var_never_assigned_fires_m302(lint):
+    report = lint(when="x = 10\nwhile x > 0 do y = RDstate() end\n"
+                       "go = x > 0")
+    assert "M302" in [r for r in rules(report)]
+
+
+def test_monotone_countdown_is_clean(lint):
+    # greedy-spill shape: strictly decreasing counter.
+    report = lint(when="t = 8\nwhile t > 0 do t = t - 1 end\ngo = t == 0")
+    assert rules(report) == []
+
+
+def test_geometric_progress_is_clean(lint):
+    # giga shape: condition var fed by a var updated multiplicatively.
+    report = lint(when="x = 16\nwhile x > 1 do x = x / 2 end\ngo = x < 2")
+    assert rules(report) == []
+
+
+def test_indirect_progress_through_feeder_is_clean(lint):
+    # giga-autonomous shape: `depth` feeds `cap` which guards the loop.
+    report = lint(when="depth = 1\ncap = 1\n"
+                       "while cap < total do depth = depth * 2\n"
+                       "cap = depth end\ngo = cap >= total")
+    assert rules(report) == []
+
+
+def test_huge_numeric_for_fires_m303(lint):
+    report = lint(when="acc = 0\nfor i = 1, 1000000 do acc = acc + i end\n"
+                       "go = acc > 0")
+    assert "M303" in rules(report)
+
+
+def test_small_numeric_for_is_clean(lint):
+    report = lint(when="acc = 0\nfor i = 1, 10 do acc = acc + i end\n"
+                       "go = acc > 0")
+    assert rules(report) == []
+
+
+def test_unprovable_for_bound_warns_m302(lint):
+    report = lint(when="go = true",
+                  where="for i = 1, RDstate() or 1 do targets[i] = 0 end")
+    assert "M302" in rules(report)

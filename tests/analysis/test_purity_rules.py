@@ -1,0 +1,80 @@
+"""Sandbox/purity rules (M401/M402) -- and the whitelist-sync contract.
+
+The static analyzer's notion of "forbidden" is derived from the *live*
+sandbox environment (``luapolicy.stdlib``), so for every stdlib global
+the sandbox strips, this suite asserts both halves agree: the runtime
+rejects the call AND the static rule fires.  A drift in either direction
+fails one leg of the parametrized test.
+"""
+
+import pytest
+
+from repro.analysis import lint_policy
+from repro.core.api import MantlePolicy
+from repro.luapolicy.errors import LuaError
+from repro.luapolicy.sandbox import compile_policy
+from repro.luapolicy.stdlib import (
+    FORBIDDEN_STDLIB_GLOBALS,
+    FORBIDDEN_STDLIB_MEMBERS,
+    SANDBOX_TABLE_MEMBERS,
+)
+
+from .conftest import rules
+
+
+@pytest.mark.parametrize("name", sorted(FORBIDDEN_STDLIB_GLOBALS))
+def test_forbidden_global_rejected_statically_and_at_runtime(name):
+    source = f"go = {name}(1) ~= nil"
+    # Static half: M401 fires on the call site.
+    report = lint_policy(MantlePolicy(name="sync", when=source))
+    fired = [d for d in report.diagnostics if d.rule == "M401"]
+    assert fired, f"M401 did not fire for {name}"
+    assert all(d.severity == "error" for d in fired)
+    # Runtime half: the sandbox has stripped the global, so calling it
+    # raises (nil is not callable).
+    with pytest.raises(LuaError):
+        compile_policy(source).run({})
+
+
+@pytest.mark.parametrize("dotted", sorted(FORBIDDEN_STDLIB_MEMBERS))
+def test_forbidden_member_rejected_statically_and_at_runtime(dotted):
+    source = f"go = {dotted}(1) ~= nil"
+    report = lint_policy(MantlePolicy(name="sync", when=source))
+    assert any(d.rule == "M401" for d in report.diagnostics), \
+        f"M401 did not fire for {dotted}"
+    with pytest.raises(LuaError):
+        compile_policy(source).run({})
+
+
+def test_whitelisted_members_are_clean(lint):
+    calls = " + ".join(
+        f"math.{m}(1)" for m in sorted(SANDBOX_TABLE_MEMBERS["math"])
+        if m not in ("max", "min", "huge"))
+    report = lint(when=f"go = {calls} >= 0")
+    assert [r for r in rules(report) if r == "M401"] == []
+
+
+def test_unknown_function_fires_m401(lint):
+    report = lint(when="go = frobnicate(1) > 0")
+    assert "M401" in rules(report)
+    # The undefined-global rule is suppressed at the same site -- one
+    # finding per mistake.
+    assert "M101" not in rules(report)
+
+
+def test_state_read_in_metaload_fires_m402(lint):
+    report = lint(metaload='RDstate("x") + IRD')
+    assert "M402" in rules(report)
+
+
+def test_state_write_in_mdsload_fires_m402(lint):
+    report = lint(mdsload='WRstate("x", 1) or MDSs[i]["all"]')
+    assert "M402" in rules(report)
+
+
+def test_state_access_in_decision_hooks_is_allowed(lint):
+    # when/where legitimately persist state across ticks (Listing 3).
+    report = lint(when='last = RDstate("last") or 0\n'
+                       'WRstate("last", total)\ngo = total > last')
+    assert "M402" not in rules(report)
+    assert "M401" not in rules(report)

@@ -1,12 +1,10 @@
 """MantleBalancer: the tick pipeline on a real mini-cluster."""
 
-import pytest
 
-from repro.clients.ops import MetaRequest, OpKind
+from repro.clients.ops import OpKind
 from repro.cluster import SimulatedCluster
 from repro.core.api import MantlePolicy
 from repro.core.balancer import MantleBalancer
-from repro.core.policies import greedy_spill_policy
 from tests.conftest import make_config
 
 

@@ -1,0 +1,142 @@
+"""The lint gate in the injection path + validator integration.
+
+Covers: ``set_policy`` refusing a lint-failing policy (and the two bypass
+levers), the ``PolicyVersion.lint`` audit column, ``SimReport``
+attachments, hook attribution of combined-chunk errors in the validator,
+and the byte-identity of simulation results with lint on vs off.
+"""
+
+import pytest
+
+from repro.analysis import PolicyLintError
+from repro.cluster import SimulatedCluster
+from repro.config import ClusterConfig
+from repro.core.api import MantlePolicy
+from repro.core.policies import greedy_spill_policy
+from repro.core.validator import ValidationReport, validate_policy
+from repro.workloads import CreateWorkload
+
+
+def small_config(**kwargs):
+    return ClusterConfig(num_mds=2, num_clients=2, seed=7, **kwargs)
+
+
+def broken_policy():
+    return MantlePolicy(name="broken", when="go = zork > 5")
+
+
+# -- the set_policy gate ----------------------------------------------------
+
+class TestInjectionGate:
+    def test_lint_error_blocks_injection(self):
+        cluster = SimulatedCluster(small_config())
+        with pytest.raises(PolicyLintError) as excinfo:
+            cluster.set_policy(broken_policy())
+        assert "M101" in str(excinfo.value)
+        assert "--no-lint" in str(excinfo.value)
+        # Nothing was committed: the store has no version of it.
+        assert all(v.name != "broken"
+                   for v in cluster.policy_store.log())
+
+    def test_per_call_bypass(self):
+        cluster = SimulatedCluster(small_config())
+        cluster.set_policy(broken_policy(), lint=False)
+        version = cluster.policy_store.log()[-1]
+        assert version.name == "broken"
+        assert version.lint == ""  # audit trail: injected unchecked
+
+    def test_cluster_level_bypass(self):
+        cluster = SimulatedCluster(small_config(), lint_policies=False)
+        cluster.set_policy(broken_policy())
+        assert cluster.policy_store.log()[-1].lint == ""
+
+    def test_clean_policy_records_lint_summary(self):
+        cluster = SimulatedCluster(small_config())
+        cluster.set_policy(greedy_spill_policy())
+        version = cluster.policy_store.log()[-1]
+        assert version.lint == "lint:clean"
+
+    def test_constructor_policy_goes_through_gate(self):
+        with pytest.raises(PolicyLintError):
+            SimulatedCluster(small_config(), policy=broken_policy())
+
+    def test_report_carries_lint_reports(self):
+        cluster = SimulatedCluster(small_config(),
+                                   policy=greedy_spill_policy())
+        report = cluster.run_workload(
+            CreateWorkload(num_clients=2, files_per_client=100,
+                           shared_dir=True))
+        assert report.lint_reports["greedy-spill"].ok
+
+    def test_lint_flag_does_not_change_results(self):
+        def run(lint_policies):
+            cluster = SimulatedCluster(small_config(),
+                                       policy=greedy_spill_policy(),
+                                       lint_policies=lint_policies)
+            return cluster.run_workload(
+                CreateWorkload(num_clients=2, files_per_client=200,
+                               shared_dir=True))
+
+        checked, unchecked = run(True), run(False)
+        assert checked.summary_line() == unchecked.summary_line()
+        assert checked.per_mds_ops() == unchecked.per_mds_ops()
+        assert checked.total_migrations == unchecked.total_migrations
+
+
+# -- validator integration --------------------------------------------------
+
+class TestValidatorLint:
+    def test_lint_findings_become_problems(self):
+        report = validate_policy(broken_policy())
+        assert not report.ok
+        assert any(p.startswith("lint: error[M101]")
+                   for p in report.problems)
+        assert report.diagnostics  # structured findings attached
+
+    def test_no_lint_skips_static_analysis(self):
+        report = validate_policy(broken_policy(), lint=False)
+        assert not any(p.startswith("lint:") for p in report.problems)
+        assert report.diagnostics == ()
+        # The dry-run still catches the undefined global at runtime.
+        assert not report.ok
+
+    def test_lint_warnings_become_warnings(self):
+        policy = MantlePolicy(name="warny",
+                              when="unused = 42\ngo = total > 1e9")
+        report = validate_policy(policy)
+        assert report.ok
+        assert any(w.startswith("lint: warning[M104]")
+                   for w in report.warnings)
+
+    def test_when_syntax_attributed(self):
+        report = validate_policy(
+            MantlePolicy(name="bad", when="go = = 1"), lint=False)
+        assert any(p.startswith("when syntax:") for p in report.problems)
+
+    def test_where_syntax_attributed(self):
+        report = validate_policy(
+            MantlePolicy(name="bad", when="go = true",
+                         where="targets[1] = = 2"), lint=False)
+        assert any(p.startswith("where syntax:") for p in report.problems)
+
+    def test_when_runtime_attributed_with_line(self):
+        report = validate_policy(
+            MantlePolicy(name="bad", when="x = RDstate() + 1\ngo = x > 0"))
+        assert any(p.startswith("when runtime (when:1):")
+                   for p in report.problems)
+
+    def test_where_runtime_attributed_with_line(self):
+        report = validate_policy(
+            MantlePolicy(name="bad", when="go = true",
+                         where="targets[1] = RDstate() + 1"))
+        assert any(p.startswith("where runtime (where:1):")
+                   for p in report.problems)
+
+    def test_problem_and_warning_dedupe(self):
+        report = ValidationReport(policy_name="x")
+        report.add_problem("same")
+        report.add_problem("same")
+        report.add_warning("w")
+        report.add_warning("w")
+        assert report.problems == ["same"]
+        assert report.warnings == ["w"]

@@ -7,7 +7,7 @@ few simulated seconds each.
 
 import pytest
 
-from repro import ClusterConfig, SimulatedCluster, run_experiment, run_seeds
+from repro import SimulatedCluster, run_experiment, run_seeds
 from repro.core.api import MantlePolicy
 from repro.core.policies import (
     adaptable_policy,

@@ -285,3 +285,25 @@ class TestReturn:
         result = run_policy("t = {5, 6}")
         assert result.python_value("t") == [5.0, 6.0]
         assert isinstance(result.global_value("t"), LuaTable)
+
+
+class TestRuntimeErrorPositions:
+    """Runtime errors carry the source line/column of the failing node."""
+
+    def test_arithmetic_on_nil_points_at_operator(self):
+        with pytest.raises(LuaRuntimeError) as excinfo:
+            run_policy("x = 1\ny = x + nil")
+        assert excinfo.value.line == 2
+        assert "(line 2, column" in str(excinfo.value)
+
+    def test_call_of_nil_has_position(self):
+        with pytest.raises(LuaRuntimeError) as excinfo:
+            run_policy("go = frob()")
+        assert excinfo.value.line == 1
+        assert "line 1" in str(excinfo.value)
+
+    def test_positions_survive_multiline_chunks(self):
+        source = "a = 1\nb = 2\nc = 3\nd = c + {}"
+        with pytest.raises(LuaRuntimeError) as excinfo:
+            run_policy(source)
+        assert excinfo.value.line == 4

@@ -1,7 +1,6 @@
 """Multiple return values (Lua semantics: only the last expression of an
 expression list keeps its multiplicity)."""
 
-import pytest
 
 from repro.luapolicy import MultiValue, run_policy
 

@@ -4,7 +4,6 @@ Uses a small real cluster (no mocks) and drives individual requests
 through it.
 """
 
-import pytest
 
 from repro.clients.ops import MetaRequest, OpKind
 from repro.cluster import SimulatedCluster

@@ -1,7 +1,6 @@
 """Finer MDS server behaviours: hop caps, STORE commits, readdir scaling,
 noisy CPU snapshots, fully-owned subtree checks."""
 
-import pytest
 
 from repro.clients.ops import MetaRequest, OpKind
 from repro.cluster import SimulatedCluster
